@@ -1,0 +1,52 @@
+// Command venice-bench regenerates the paper's tables and figures from
+// the simulator. With no arguments it runs everything; otherwise pass
+// experiment ids (fig3 fig5 fig6 fig14 fig15 fig16a fig16b fig17 fig18
+// table1 cost validation).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var runners = map[string]func() string{
+	"fig3":       func() string { return experiments.Fig3().Table.String() },
+	"fig5":       func() string { return experiments.Fig5().Table.String() },
+	"fig6":       func() string { return experiments.Fig6().Table.String() },
+	"fig14":      func() string { return experiments.Fig14().Table.String() },
+	"fig15":      func() string { return experiments.Fig15().Table.String() },
+	"fig16a":     func() string { return experiments.Fig16a().Table.String() },
+	"fig16b":     func() string { return experiments.Fig16b().Table.String() },
+	"fig17":      func() string { return experiments.Fig17().Table.String() },
+	"fig18":      func() string { return experiments.Fig18().Table.String() },
+	"table1":     func() string { return experiments.Table1().String() },
+	"cost":       func() string { return experiments.CostTable().String() },
+	"validation": func() string { return experiments.Validation().Table.String() },
+}
+
+// order keeps output deterministic and paper-ordered.
+var order = []string{
+	"table1", "fig3", "fig5", "fig6", "fig14", "fig15",
+	"fig16a", "fig16b", "fig17", "fig18", "cost", "validation",
+}
+
+func main() {
+	ids := os.Args[1:]
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "venice-bench: unknown experiment %q\navailable: %v\n", id, order)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out := run()
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,13 @@
+// Command venice-cost prints the §7.3 hardware cost analysis of the
+// Venice substrate.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println(experiments.CostTable().String())
+}

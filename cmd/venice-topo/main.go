@@ -1,0 +1,44 @@
+// Command venice-topo describes the prototype fabric: the 2x2x2 mesh's
+// adjacency, hop counts, and the calibrated point-to-point latency for a
+// range of payload sizes.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func main() {
+	p := sim.Default()
+	topo := fabric.Mesh3D(2, 2, 2)
+	fmt.Printf("topology %s: %d nodes, %d bidirectional links\n\n",
+		topo.Name, topo.N, len(topo.Edges))
+
+	fmt.Println("adjacency:")
+	for i := 0; i < topo.N; i++ {
+		fmt.Printf("  %v -> %v\n", fabric.NodeID(i), topo.NeighborsOf(fabric.NodeID(i)))
+	}
+
+	fmt.Println("\nhop counts:")
+	fmt.Print("     ")
+	for j := 0; j < topo.N; j++ {
+		fmt.Printf("n%-3d", j)
+	}
+	fmt.Println()
+	for i := 0; i < topo.N; i++ {
+		fmt.Printf("n%-3d ", i)
+		for j := 0; j < topo.N; j++ {
+			fmt.Printf("%-4d", topo.HopCount(fabric.NodeID(i), fabric.NodeID(j)))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nfixed hop latency: %v (Table 1: 1.4 µs)\n", p.HopLatency())
+	fmt.Println("one-way latency by payload (direct neighbors):")
+	for _, size := range []int{16, 64, 256, 1024, 4096} {
+		fmt.Printf("  %5d B: %v\n", size, p.HopLatency()+p.Serialize(size))
+	}
+	fmt.Printf("\nlink rate %.0f Gbps x %d ports per node\n", p.LinkGbps, p.LinkPorts)
+}

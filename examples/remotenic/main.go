@@ -1,0 +1,48 @@
+// Remotenic: the Fig. 12 scenario — a network-bound node bonds its own
+// NIC with NICs borrowed from two neighbors (IP-over-QPair front/back
+// drivers plus Linux-style bonding) and measures the throughput gain
+// for small and large packets.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/vnic"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cluster := core.NewCluster(core.Config{StartAgents: true})
+	defer cluster.Close()
+	cluster.Agents[1].Devices[monitor.DevNIC] = 1
+	cluster.Agents[2].Devices[monitor.DevNIC] = 1
+	cluster.RunFor(1 * sim.Second)
+
+	app := cluster.Node(0)
+	app.Run("netapp", func(p *sim.Proc) {
+		local := vnic.NewNIC(cluster.Eng, cluster.P, "eth0")
+		slaves := []vnic.Slave{&vnic.LocalSlave{NIC: local}}
+
+		for i := 0; i < 2; i++ {
+			lease, err := cluster.AttachNIC(p, app)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("attached remote NIC on %v\n", lease.Donor.ID)
+			slaves = append(slaves, lease.VNIC)
+		}
+
+		for _, size := range []int{4, 256, 1400} {
+			solo := vnic.NewBond(cluster.P, slaves[:1]...)
+			rep := workloads.IperfBond(p, solo, size, 2000)
+			bonded := vnic.NewBond(cluster.P, slaves...)
+			rep3 := workloads.IperfBond(p, bonded, size, 2000)
+			fmt.Printf("%5dB packets: local NIC %8.1f MB/s, bonded x3 %8.1f MB/s (%.2fx)\n",
+				size, rep.MBps(), rep3.MBps(), rep3.MBps()/rep.MBps())
+		}
+	})
+	cluster.RunFor(600 * sim.Second)
+}

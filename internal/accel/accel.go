@@ -1,0 +1,95 @@
+// Package accel models shareable hardware accelerators and Venice's
+// mailbox-based remote-accelerator mechanism (§5.2.2, Fig. 11): a donor
+// hosts accelerators behind memory-mapped mailboxes; recipients either go
+// through the donor's kernel thread, or — when an accelerator is
+// exclusively shared — manipulate the mailbox directly over the fabric.
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kernel describes one accelerator's computational behavior.
+type Kernel interface {
+	Name() string
+	// Time reports accelerator busy time for n input bytes.
+	Time(n int) sim.Dur
+}
+
+// FFT is an XFFT-style FPGA FFT engine, throughput-bound with a fixed
+// start cost per launch.
+type FFT struct {
+	MBps  float64 // sustained input consumption rate
+	Setup sim.Dur // per-launch pipeline fill
+}
+
+// Name identifies the kernel.
+func (f FFT) Name() string { return "xfft" }
+
+// Time reports busy time for n bytes.
+func (f FFT) Time(n int) sim.Dur {
+	return f.Setup + sim.DurFromSeconds(float64(n)/(f.MBps*1e6))
+}
+
+// Crypto is a block-cipher engine.
+type Crypto struct {
+	MBps  float64
+	Setup sim.Dur
+}
+
+// Name identifies the kernel.
+func (c Crypto) Name() string { return "crypto" }
+
+// Time reports busy time for n bytes.
+func (c Crypto) Time(n int) sim.Dur {
+	return c.Setup + sim.DurFromSeconds(float64(n)/(c.MBps*1e6))
+}
+
+// Stats counts one accelerator's activity.
+type Stats struct {
+	Tasks    int64
+	Bytes    int64
+	BusyTime sim.Dur
+}
+
+// Accelerator is one physical device on its host node.
+type Accelerator struct {
+	Eng    *sim.Engine
+	P      *sim.Params
+	Kernel Kernel
+
+	busy *sim.Semaphore
+
+	Stats Stats
+}
+
+// New builds an accelerator around a kernel.
+func New(eng *sim.Engine, p *sim.Params, k Kernel) *Accelerator {
+	return &Accelerator{Eng: eng, P: p, Kernel: k, busy: sim.NewSemaphore(eng, 1)}
+}
+
+// Exec occupies the device for one task of n input bytes, blocking the
+// caller until the task drains (queueing behind other users).
+func (a *Accelerator) Exec(p *sim.Proc, n int) {
+	a.busy.Acquire(p)
+	d := a.Kernel.Time(n)
+	a.Stats.Tasks++
+	a.Stats.Bytes += int64(n)
+	a.Stats.BusyTime += d
+	p.Sleep(d)
+	a.busy.Release()
+}
+
+// RunLocal executes a task for an application on the accelerator's own
+// node: input and output move over local DRAM, which the device masters
+// directly.
+func (a *Accelerator) RunLocal(p *sim.Proc, n int) {
+	// DMA in/out at DRAM speed is folded into the kernel's throughput
+	// figure for a local run; only the launch is charged separately.
+	a.Exec(p, n)
+}
+
+// String identifies the accelerator.
+func (a *Accelerator) String() string { return fmt.Sprintf("accel(%s)", a.Kernel.Name()) }

@@ -1,0 +1,104 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Client is the recipient-side accelerator library (§5.2.2): it hides
+// device location behind handles, ships input/output over the RDMA
+// channel, and rings doorbells over small control messages — pipelining
+// chunks so transfer overlaps compute.
+type Client struct {
+	Node    *node.Node
+	pending map[uint64]func()
+	nextTag uint64
+}
+
+// NewClient attaches the accelerator library to a node.
+func NewClient(n *node.Node) *Client {
+	c := &Client{Node: n, pending: make(map[uint64]func())}
+	n.EP.Handle("accel.done", func(pkt *fabric.Packet) {
+		m := pkt.Payload.(*accelDoneMsg)
+		fn, ok := c.pending[m.Tag]
+		if !ok {
+			return
+		}
+		delete(c.pending, m.Tag)
+		fn()
+	})
+	return c
+}
+
+// RemoteHandle drives one remote accelerator mailbox.
+type RemoteHandle struct {
+	c       *Client
+	Donor   fabric.NodeID
+	Mailbox int
+	// BufBase is the donor-side pinned staging buffer for this handle.
+	BufBase uint64
+	// Exclusive uses the direct, exclusively-mapped fast path: the
+	// recipient manipulates the mailbox itself, skipping the donor's
+	// kernel thread (the donor service must have granted exclusivity).
+	Exclusive bool
+
+	// Tasks and Bytes count work shipped through this handle.
+	Tasks int64
+	Bytes int64
+}
+
+// Attach opens a handle to mailbox mb on the donor.
+func (c *Client) Attach(donor fabric.NodeID, mb int, exclusive bool) *RemoteHandle {
+	return &RemoteHandle{
+		c:         c,
+		Donor:     donor,
+		Mailbox:   mb,
+		BufBase:   0x7000_0000 + uint64(mb)<<28,
+		Exclusive: exclusive,
+	}
+}
+
+// Run offloads one task of n input bytes (producing n output bytes, as
+// for FFT) and blocks until the results are back in local memory. Data
+// moves in Params.AccelChunkBytes pieces down a three-stage pipeline:
+// input RDMA -> accelerator -> output RDMA.
+func (h *RemoteHandle) Run(p *sim.Proc, exec string, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("accel: non-positive task size %d", n))
+	}
+	h.Tasks++
+	h.Bytes += int64(n)
+	eng := h.c.Node.Eng
+	ep := h.c.Node.EP
+	par := h.c.Node.P
+	chunk := par.AccelChunkBytes
+	g := sim.NewGroup(eng)
+	// The doorbell (a store into the exclusively-mapped mailbox) is paid
+	// once per task; per-chunk starts ride the data as RDMA immediates,
+	// so FIFO delivery launches each chunk the moment its input lands.
+	p.Sleep(par.AccelDoorbell)
+	for off := 0; off < n; off += chunk {
+		sz := chunk
+		if off+sz > n {
+			sz = n - off
+		}
+		g.Add(1)
+		tag := h.c.nextTag
+		h.c.nextTag++
+		addr := h.BufBase + uint64(off)
+		// Stage 3 (registered first): when the donor signals completion,
+		// read the result chunk back; its arrival finishes the chunk.
+		h.c.pending[tag] = func() {
+			rd := ep.RDMA.ReadAsync(h.Donor, addr, sz)
+			rd.Then(g.Done)
+		}
+		// Stage 1+2: ship the input chunk with the start request as its
+		// immediate; the donor launches the accelerator on arrival.
+		start := &accelStartMsg{Mailbox: h.Mailbox, Exec: exec, Bytes: sz, Tag: tag}
+		ep.RDMA.WriteAsyncNote(h.Donor, addr, sz, start)
+	}
+	g.Wait(p)
+}

@@ -1,0 +1,99 @@
+// Package commodity models the commodity-interconnect remote-memory
+// paths of the paper's §4.1 feasibility study (Fig. 3): 10 Gb Ethernet
+// with a vDisk swap driver, InfiniBand SRP, a semi-custom PCIe DMA block
+// device, and direct PCIe load/store (the CRMA-like configuration that
+// the commodity PCIe chip cripples).
+//
+// These are parameterized device models, not full protocol stacks: the
+// paper's own measurements define the effective per-operation costs, and
+// the models reproduce those costs so the Fig. 3 comparison exercises
+// the same swap and PIO code paths as the Venice configurations.
+package commodity
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// EthernetVDisk returns the 10 GbE remote-swap block device: remote
+// memory used as a swap partition via a vDisk driver in Linux. The
+// latency is dominated by the TCP/IP stack and interrupt path on both
+// ends, not the wire.
+func EthernetVDisk(p *sim.Params) *memsys.FixedLatencyDevice {
+	return &memsys.FixedLatencyDevice{
+		DevName: "10gbe-vdisk",
+		P:       p,
+		Latency: 130 * sim.Microsecond,
+		MBps:    280,
+	}
+}
+
+// InfiniBandSRP returns the IB SCSI-RDMA-Protocol virtual block device:
+// leaner than TCP but still a full SCSI target stack per request.
+func InfiniBandSRP(p *sim.Params) *memsys.FixedLatencyDevice {
+	return &memsys.FixedLatencyDevice{
+		DevName: "ib-srp",
+		P:       p,
+		Latency: 52 * sim.Microsecond,
+		MBps:    700,
+	}
+}
+
+// PCIeRDMA returns the semi-custom PCIe DMA block device: swapping over
+// the block device using DMAs (§4.1).
+func PCIeRDMA(p *sim.Params) *memsys.FixedLatencyDevice {
+	return &memsys.FixedLatencyDevice{
+		DevName: "pcie-rdma",
+		P:       p,
+		Latency: 28 * sim.Microsecond,
+		MBps:    800,
+	}
+}
+
+// PCIeLDST is the direct load/store path over commodity PCIe: an
+// uncached BAR window where every read is a non-posted PCIe transaction.
+// The paper notes this configuration "suffers from a crippling, but
+// fixable, limit due to the commodity PCIe chip" — a single outstanding
+// non-posted read whose effective latency collapses under load. ReadLat
+// is calibrated to reproduce the reported behavior of that chip, not
+// fundamental PCIe limits.
+type PCIeLDST struct {
+	P        *sim.Params
+	ReadLat  sim.Dur
+	WriteLat sim.Dur // posted writes: cheap
+
+	Reads  int64
+	Writes int64
+}
+
+// NewPCIeLDST returns the crippled-chip PIO backend with the calibrated
+// default latencies.
+func NewPCIeLDST(p *sim.Params) *PCIeLDST {
+	return &PCIeLDST{
+		P:        p,
+		ReadLat:  32 * sim.Microsecond,
+		WriteLat: 2 * sim.Microsecond,
+	}
+}
+
+// Access implements memsys.Backend for the uncached window: reads block
+// for the full non-posted transaction; writes post.
+func (d *PCIeLDST) Access(ctx *memsys.AccessCtx, _ uint64, _ int, write bool) sim.Dur {
+	if write {
+		d.Writes++
+		return d.WriteLat
+	}
+	d.Reads++
+	ctx.Flush()
+	ctx.Proc.Sleep(d.ReadLat)
+	return 0
+}
+
+// Writeback never happens on an uncached region but satisfies the
+// interface (a posted write if it ever did).
+func (d *PCIeLDST) Writeback(_ *memsys.AccessCtx, _ uint64, _ int) sim.Dur {
+	return d.WriteLat
+}
+
+// Name identifies the backend.
+func (d *PCIeLDST) Name() string { return "pcie-ldst" }

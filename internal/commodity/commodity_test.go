@@ -1,0 +1,91 @@
+package commodity
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+func TestDeviceLatencyOrdering(t *testing.T) {
+	p := sim.Default()
+	eng := sim.New()
+	defer eng.Close()
+	devs := []memsys.BlockDevice{EthernetVDisk(&p), InfiniBandSRP(&p), PCIeRDMA(&p)}
+	var times []sim.Dur
+	eng.Go("probe", func(pr *sim.Proc) {
+		for _, d := range devs {
+			t0 := pr.Now()
+			d.ReadPage(pr, 0)
+			times = append(times, pr.Now().Sub(t0))
+		}
+	})
+	eng.Run()
+	// Fig. 3's ordering: Ethernet slowest, then IB SRP, then PCIe DMA.
+	if !(times[0] > times[1] && times[1] > times[2]) {
+		t.Fatalf("device latency ordering wrong: %v", times)
+	}
+	names := []string{"10gbe-vdisk", "ib-srp", "pcie-rdma"}
+	for i, d := range devs {
+		if d.Name() != names[i] {
+			t.Fatalf("device %d name %q, want %q", i, d.Name(), names[i])
+		}
+	}
+}
+
+func TestPCIeLDSTReadsBlockWritesPost(t *testing.T) {
+	p := sim.Default()
+	eng := sim.New()
+	defer eng.Close()
+	dev := NewPCIeLDST(&p)
+	var readT sim.Dur
+	var writeLazy sim.Dur
+	eng.Go("probe", func(pr *sim.Proc) {
+		ctx := &memsys.AccessCtx{Proc: pr, Flush: func() {}}
+		t0 := pr.Now()
+		if d := dev.Access(ctx, 0x1000, 8, false); d != 0 {
+			t.Errorf("read returned lazy time %v, should block instead", d)
+		}
+		readT = pr.Now().Sub(t0)
+		writeLazy = dev.Access(ctx, 0x1000, 8, true)
+	})
+	eng.Run()
+	if readT != dev.ReadLat {
+		t.Fatalf("read blocked %v, want %v", readT, dev.ReadLat)
+	}
+	if writeLazy != dev.WriteLat {
+		t.Fatalf("posted write lazy cost %v, want %v", writeLazy, dev.WriteLat)
+	}
+	if dev.Reads != 1 || dev.Writes != 1 {
+		t.Fatalf("counters: %d reads %d writes", dev.Reads, dev.Writes)
+	}
+	if dev.Name() != "pcie-ldst" {
+		t.Fatal("name wrong")
+	}
+	if wb := dev.Writeback(nil, 0, 64); wb != dev.WriteLat {
+		t.Fatalf("writeback = %v", wb)
+	}
+}
+
+func TestUncachedRegionBypassesCache(t *testing.T) {
+	p := sim.Default()
+	eng := sim.New()
+	defer eng.Close()
+	dev := NewPCIeLDST(&p)
+	h := memsys.NewHierarchy(eng, &p)
+	if err := h.AS.Add(&memsys.Region{Base: 0, Size: 1 << 20, Backend: dev, Uncached: true}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Go("probe", func(pr *sim.Proc) {
+		h.Read(pr, 0x100, 8)
+		h.Read(pr, 0x100, 8) // same address: must hit the device again
+		h.Flush(pr)
+	})
+	eng.Run()
+	if dev.Reads != 2 {
+		t.Fatalf("uncached reads = %d, want 2 (no cache allocation)", dev.Reads)
+	}
+	if h.Cache.Stats.Hits+h.Cache.Stats.Misses != 0 {
+		t.Fatal("uncached access touched the cache")
+	}
+}

@@ -1,0 +1,101 @@
+// Package core is the Venice library's public surface: it assembles a
+// rack of nodes on the resource-sharing fabric, runs the
+// resource-management runtime (Monitor Node + per-node agents), and
+// exposes the paper's resource-joining sessions — borrowing remote
+// memory directly (CRMA), as swap space (RDMA block device), attaching
+// remote accelerators, and attaching remote NICs — behind a small,
+// transparent API (§3, Fig. 2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/monitor"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Config shapes a cluster. Zero values select the paper's prototype
+// configuration (Table 1): eight 1 GB nodes on a 2x2x2 mesh, MN on node
+// 0.
+type Config struct {
+	Params       *sim.Params      // nil: sim.Default()
+	Topology     *fabric.Topology // nil: Mesh3D(2,2,2)
+	NodeMemBytes uint64           // 0: 1 GiB
+	MonitorNode  fabric.NodeID
+	Seed         uint64 // 0: 1
+	// StartAgents launches heartbeat daemons on every node (required for
+	// MN-brokered sharing; controlled experiments may skip them).
+	StartAgents bool
+	// HeartbeatInterval overrides the agents' default period when >0.
+	HeartbeatInterval sim.Dur
+}
+
+// Cluster is a running Venice rack.
+type Cluster struct {
+	Eng    *sim.Engine
+	P      *sim.Params
+	Net    *fabric.Network
+	Nodes  []*node.Node
+	Agents []*monitor.Agent
+	MN     *monitor.Monitor
+}
+
+// NewCluster builds the rack.
+func NewCluster(cfg Config) *Cluster {
+	p := cfg.Params
+	if p == nil {
+		d := sim.Default()
+		p = &d
+	}
+	topo := fabric.Mesh3D(2, 2, 2)
+	if cfg.Topology != nil {
+		topo = *cfg.Topology
+	}
+	mem := cfg.NodeMemBytes
+	if mem == 0 {
+		mem = 1 << 30
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	eng := sim.New()
+	net := fabric.NewNetwork(eng, p, topo, sim.NewRNG(seed))
+	c := &Cluster{Eng: eng, P: p, Net: net}
+	for i := 0; i < topo.N; i++ {
+		n := node.New(eng, p, net, fabric.NodeID(i), mem)
+		c.Nodes = append(c.Nodes, n)
+		a := monitor.NewAgent(n.EP, n.MemMgr, net)
+		if cfg.HeartbeatInterval > 0 {
+			a.Interval = cfg.HeartbeatInterval
+		}
+		c.Agents = append(c.Agents, a)
+	}
+	c.MN = monitor.New(c.Nodes[cfg.MonitorNode].EP, topo)
+	if cfg.StartAgents {
+		for _, a := range c.Agents {
+			a.Start(cfg.MonitorNode)
+		}
+	}
+	return c
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *node.Node { return c.Nodes[i] }
+
+// Run drains the event queue (until all processes finish or deadlock).
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d sim.Dur) { c.Eng.RunFor(d) }
+
+// Close releases simulation resources; the cluster must not be used
+// afterwards.
+func (c *Cluster) Close() { c.Eng.Close() }
+
+// String summarizes the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("venice[%s, %d nodes, MN=%v]", c.Net.Topo.Name, len(c.Nodes), c.MN.Node())
+}

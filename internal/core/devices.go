@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/monitor"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/vnic"
+)
+
+// AccelLease is a remote accelerator attachment: the MN chose a donor
+// advertising a free device, and the recipient drives it through the
+// accelerator library's handle (§5.2.2).
+type AccelLease struct {
+	Handle    *accel.RemoteHandle
+	Donor     *node.Node
+	Recipient *node.Node
+	allocID   int
+	cluster   *Cluster
+}
+
+// AttachAccelerator asks the MN for a remote accelerator and opens a
+// handle to mailbox mb on the chosen donor. The donor must be running an
+// accel.Service (its agent advertises the device count).
+func (c *Cluster) AttachAccelerator(p *sim.Proc, recipient *node.Node, client *accel.Client, mb int, exclusive bool) (*AccelLease, error) {
+	resp := monitor.RequestDevice(p, recipient.EP, c.MN.Node(), monitor.DevAccelerator)
+	if !resp.OK {
+		return nil, fmt.Errorf("core: attach accelerator: %s", resp.Err)
+	}
+	h := client.Attach(resp.Donor, mb, exclusive)
+	return &AccelLease{
+		Handle:    h,
+		Donor:     c.Nodes[resp.Donor],
+		Recipient: recipient,
+		allocID:   resp.AllocID,
+		cluster:   c,
+	}, nil
+}
+
+// Release returns the device to the donor's advertised pool.
+func (l *AccelLease) Release(p *sim.Proc) {
+	monitor.FreeDevice(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+}
+
+// NICLease is a remote NIC attachment: a VNIC front-end whose frames
+// egress on the donor's physical NIC (§5.2.3).
+type NICLease struct {
+	VNIC      *vnic.VNIC
+	Donor     *node.Node
+	Recipient *node.Node
+	allocID   int
+	cluster   *Cluster
+}
+
+// AttachNIC asks the MN for a remote NIC and builds the VNIC path to the
+// chosen donor's physical NIC (created here on its behalf).
+func (c *Cluster) AttachNIC(p *sim.Proc, recipient *node.Node) (*NICLease, error) {
+	resp := monitor.RequestDevice(p, recipient.EP, c.MN.Node(), monitor.DevNIC)
+	if !resp.OK {
+		return nil, fmt.Errorf("core: attach NIC: %s", resp.Err)
+	}
+	donor := c.Nodes[resp.Donor]
+	dn := vnic.NewNIC(c.Eng, c.P, fmt.Sprintf("eth0@%v", donor.ID))
+	v := vnic.AttachRemote(recipient, donor, dn)
+	return &NICLease{VNIC: v, Donor: donor, Recipient: recipient,
+		allocID: resp.AllocID, cluster: c}, nil
+}
+
+// Release stops the back-end and returns the NIC to the pool.
+func (l *NICLease) Release(p *sim.Proc) {
+	l.VNIC.Close(p)
+	monitor.FreeDevice(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// TestFullRackScenario exercises the whole stack at once: several
+// recipients borrowing from several donors through the MN while a
+// workload hammers each lease, with link fault injection in the
+// background — the closest thing to the paper's "long-term behavior in
+// production-scale application scenarios".
+func TestFullRackScenario(t *testing.T) {
+	c := NewCluster(Config{StartAgents: true, Seed: 99})
+	defer c.Close()
+	c.RunFor(1 * sim.Second)
+
+	// Mild CRC noise on every link: the datalink must absorb it.
+	c.Net.SetErrorRate(0.01)
+
+	type result struct {
+		fills int64
+		sum   uint64
+	}
+	results := make([]*result, 3)
+	for i, nodeID := range []int{5, 6, 7} {
+		i, nodeID := i, nodeID
+		results[i] = &result{}
+		n := c.Node(nodeID)
+		n.Run("tenant", func(p *sim.Proc) {
+			lease, err := c.BorrowMemory(p, n, 128<<20)
+			if err != nil {
+				t.Errorf("tenant %d: %v", i, err)
+				return
+			}
+			// Run a small KV store entirely inside the borrowed window.
+			arena := workloads.NewArena(lease.WindowBase, lease.Size)
+			kv := workloads.BuildBTree(p, n.Mem, arena, arena, 5000, 64, 16)
+			rng := sim.NewRNG(uint64(100 + i))
+			results[i].sum = kv.OLTPMix(p, rng, 50)
+			results[i].fills = n.EP.CRMA.Stats.Fills
+			lease.Release(p)
+		})
+	}
+	c.RunFor(300 * sim.Second)
+
+	for i, r := range results {
+		if r.fills == 0 {
+			t.Fatalf("tenant %d never touched remote memory", i)
+		}
+	}
+	if rows := len(c.MN.Allocations()); rows != 0 {
+		t.Fatalf("RAT rows leaked: %d", rows)
+	}
+	// CRC noise must have caused (recovered) replays.
+	if s := c.Net.TotalLinkStats(); s.Corrupted == 0 || s.Replays < s.Corrupted {
+		t.Fatalf("fault injection did not exercise replay: %+v", s)
+	}
+	if c.Eng.LiveProcs() != 0 {
+		// Agents still run; only tenants must be done. Verify by name is
+		// overkill — just check the engine kept making progress.
+		t.Logf("live procs (agents): %d", c.Eng.LiveProcs())
+	}
+}
+
+// TestDeterministicReplay runs the same scenario twice and demands
+// bit-identical results — the property every experiment in this repo
+// rests on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (sim.Time, int64, uint64) {
+		c := NewCluster(Config{StartAgents: true, Seed: 7})
+		defer c.Close()
+		c.RunFor(1 * sim.Second)
+		n := c.Node(4)
+		var fills int64
+		var sum uint64
+		var at sim.Time
+		n.Run("tenant", func(p *sim.Proc) {
+			lease, err := c.BorrowMemory(p, n, 64<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := workloads.NewArena(lease.WindowBase, lease.Size)
+			kv := workloads.BuildBTree(p, n.Mem, arena, arena, 2000, 64, 16)
+			sum = kv.OLTPMix(p, sim.NewRNG(3), 40)
+			fills = n.EP.CRMA.Stats.Fills
+			at = p.Now()
+		})
+		c.RunFor(120 * sim.Second)
+		return at, fills, sum
+	}
+	t1, f1, s1 := run()
+	t2, f2, s2 := run()
+	if t1 != t2 || f1 != f2 || s1 != s2 {
+		t.Fatalf("nondeterminism: (%v,%d,%d) vs (%v,%d,%d)", t1, f1, s1, t2, f2, s2)
+	}
+}
+
+// TestConcurrentBorrowersShareOneDonor drives two recipients into the
+// same donor and checks isolation: each sees only its own region.
+func TestConcurrentBorrowersShareOneDonor(t *testing.T) {
+	c := NewCluster(Config{StartAgents: true, Seed: 21})
+	defer c.Close()
+	c.RunFor(1 * sim.Second)
+	// Only node 1 has spare memory: consume everyone else's (including
+	// the MN's own node 0, which is otherwise a fine donor).
+	for _, i := range []int{0, 2, 3, 4, 5, 6, 7} {
+		if err := c.Node(i).MemMgr.Reserve(c.Node(i).DRAMBytes - (8 << 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunFor(1 * sim.Second)
+
+	leases := make([]*MemoryLease, 2)
+	for i, id := range []int{2, 3} {
+		i, id := i, id
+		n := c.Node(id)
+		n.Run("borrower", func(p *sim.Proc) {
+			lease, err := c.BorrowMemory(p, n, 64<<20)
+			if err != nil {
+				t.Errorf("borrower %d: %v", i, err)
+				return
+			}
+			if lease.Donor != 1 {
+				t.Errorf("borrower %d: donor %v, want n1", i, lease.Donor)
+			}
+			n.Mem.Read(p, lease.WindowBase+4096, 64)
+			n.Mem.Flush(p)
+			leases[i] = lease
+		})
+	}
+	c.RunFor(60 * sim.Second)
+	if leases[0] == nil || leases[1] == nil {
+		t.Fatal("borrow failed")
+	}
+	// Donor-side regions must not overlap.
+	a, b := leases[0], leases[1]
+	donor := c.Node(1)
+	if donor.MemMgr.Removed() != a.Size+b.Size {
+		t.Fatalf("donor removed %d, want %d", donor.MemMgr.Removed(), a.Size+b.Size)
+	}
+	if donor.EP.CRMA.Stats.Served != 2 {
+		t.Fatalf("donor served %d fills, want 2", donor.EP.CRMA.Stats.Served)
+	}
+}

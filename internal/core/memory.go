@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/memsys"
+	"repro/internal/monitor"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// MemoryLease is a live remote-memory borrow: a hot-plugged window on
+// the recipient backed by a donor region over the CRMA channel. Accesses
+// to the window are ordinary loads and stores — no special API (§5.2.1).
+type MemoryLease struct {
+	Recipient  *node.Node
+	Donor      fabric.NodeID
+	WindowBase uint64
+	Size       uint64
+
+	allocID int // -1 for direct (MN-less) attachments
+	cluster *Cluster
+	region  *memsys.Region
+	entry   *transport.RAMTEntry
+}
+
+// BorrowMemory asks the Monitor Node for size bytes of remote memory and
+// hot-plugs the granted region into recipient's address space — the
+// complete Fig. 2 flow. The returned lease's window can be used
+// immediately by ordinary code.
+func (c *Cluster) BorrowMemory(p *sim.Proc, recipient *node.Node, size uint64) (*MemoryLease, error) {
+	win := recipient.NextHotplugWindow(size)
+	resp := monitor.RequestMemory(p, recipient.EP, c.MN.Node(), size, win)
+	if !resp.OK {
+		return nil, fmt.Errorf("core: borrow %d bytes: %s", size, resp.Err)
+	}
+	lease, err := mountCRMA(p, recipient, resp.Donor, win, resp.DonorBase, size)
+	if err != nil {
+		return nil, err
+	}
+	lease.allocID = resp.AllocID
+	lease.cluster = c
+	return lease, nil
+}
+
+// AttachMemoryDirect wires a borrow between two specific nodes without
+// the Monitor Node — the controlled configuration of the §4.2 latency
+// studies. The donor side is driven directly rather than via its agent.
+func AttachMemoryDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*MemoryLease, error) {
+	win := recipient.NextHotplugWindow(size)
+	donorBase, err := donor.MemMgr.HotRemove(p, size)
+	if err != nil {
+		return nil, fmt.Errorf("core: direct attach: %w", err)
+	}
+	donor.EP.CRMA.Export(recipient.ID, win, size, donorBase)
+	return mountCRMA(p, recipient, donor.ID, win, donorBase, size)
+}
+
+// mountCRMA installs the recipient-side mapping and hot-plugs the window.
+func mountCRMA(p *sim.Proc, recipient *node.Node, donor fabric.NodeID, win, donorBase, size uint64) (*MemoryLease, error) {
+	entry, err := recipient.EP.CRMA.Map(win, size, donor, donorBase)
+	if err != nil {
+		return nil, fmt.Errorf("core: mapping borrowed window: %w", err)
+	}
+	region := &memsys.Region{Base: win, Size: size,
+		Backend: &memsys.CRMARemote{CRMA: recipient.EP.CRMA, Donor: donor}}
+	if err := recipient.Mem.AS.Add(region); err != nil {
+		recipient.EP.CRMA.Unmap(entry)
+		return nil, fmt.Errorf("core: hot-plugging borrowed window: %w", err)
+	}
+	// Hot-plug cost on the recipient (Fig. 10 step 2).
+	p.Sleep(recipient.P.HotplugOp)
+	return &MemoryLease{
+		Recipient:  recipient,
+		Donor:      donor,
+		WindowBase: win,
+		Size:       size,
+		allocID:    -1,
+		region:     region,
+		entry:      entry,
+	}, nil
+}
+
+// Release tears the lease down: invalidate the mapping, drop the region,
+// flush stale cache lines, and (for MN-brokered leases) return the
+// memory to the donor.
+func (l *MemoryLease) Release(p *sim.Proc) {
+	l.Recipient.Mem.AS.Remove(l.region)
+	l.Recipient.Mem.Cache.InvalidateAll()
+	l.Recipient.EP.CRMA.Unmap(l.entry)
+	if l.allocID >= 0 && l.cluster != nil {
+		monitor.FreeMemory(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+	}
+	p.Sleep(l.Recipient.P.HotplugOp)
+}

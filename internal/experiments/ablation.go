@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/workloads"
+)
+
+// Ablations sweep the design choices DESIGN.md calls out: how much each
+// mechanism contributes to the headline results. They are exploratory
+// (the paper does not report them) but use only the paper's machinery.
+
+// AblationMSHRResult sweeps the core's outstanding-miss budget: how much
+// memory-level parallelism CRMA streaming needs before contiguous access
+// stops being the channel's weakness (the Fig. 15/17 inversion).
+type AblationMSHRResult struct {
+	MSHRs []int
+	Times []sim.Dur
+	Table Table
+}
+
+// AblationMSHR measures a streaming grep over a CRMA window (4 KiB
+// multi-line reads, the MSHR-sensitive shape) with varying MSHR counts.
+func AblationMSHR() *AblationMSHRResult {
+	res := &AblationMSHRResult{
+		MSHRs: []int{1, 2, 4, 8, 16},
+		Table: Table{
+			Title:   "Ablation — MSHRs vs streaming access over CRMA (grep)",
+			Columns: []string{"mshrs", "time", "vs mshr=1"},
+		},
+	}
+	var base sim.Dur
+	for _, m := range res.MSHRs {
+		p := sim.Default()
+		p.MSHRs = m
+		rig := newPair(&p, 91)
+		const size = 8 << 20
+		var elapsed sim.Dur
+		rig.run("grep", func(pr *sim.Proc) {
+			win := mountWindow(rig, size+(1<<20))
+			pattern := []byte("venice")
+			text := workloads.SynthText(sim.NewRNG(9), size, pattern, 8192)
+			t0 := pr.Now()
+			workloads.Grep(pr, rig.Local.Mem, win, text, pattern)
+			rig.Local.Mem.Flush(pr)
+			elapsed = pr.Now().Sub(t0)
+		})
+		rig.close()
+		res.Times = append(res.Times, elapsed)
+		if m == 1 {
+			base = elapsed
+		}
+		res.Table.AddRow(fmt.Sprintf("%d", m), elapsed.String(),
+			fmt.Sprintf("%.2fx", float64(base)/float64(elapsed)))
+	}
+	return res
+}
+
+// AblationReadaheadResult sweeps the swap readahead window for a
+// streaming workload over the remote-swap device.
+type AblationReadaheadResult struct {
+	Pages []int
+	Times []sim.Dur
+	Table Table
+}
+
+// AblationReadahead measures grep over RDMA swap with varying readahead.
+func AblationReadahead() *AblationReadaheadResult {
+	res := &AblationReadaheadResult{
+		Pages: []int{1, 4, 16, 64},
+		Table: Table{
+			Title:   "Ablation — swap readahead vs streaming grep over remote swap",
+			Columns: []string{"readahead", "time", "vs 1 page"},
+		},
+	}
+	var base sim.Dur
+	for _, ra := range res.Pages {
+		p := sim.Default()
+		p.ReadaheadPages = ra
+		rig := newPair(&p, 92)
+		const size = 8 << 20
+		baseAddr := fig15Region(rig, modeRDMASwap, size+(64<<10))
+		var elapsed sim.Dur
+		rig.run("grep", func(pr *sim.Proc) {
+			pattern := []byte("venice")
+			text := workloads.SynthText(sim.NewRNG(9), size, pattern, 8192)
+			initRegion(pr, rig, baseAddr, size+(64<<10))
+			t0 := pr.Now()
+			workloads.Grep(pr, rig.Local.Mem, baseAddr, text, pattern)
+			rig.Local.Mem.Flush(pr)
+			elapsed = pr.Now().Sub(t0)
+		})
+		rig.close()
+		res.Times = append(res.Times, elapsed)
+		if ra == 1 {
+			base = elapsed
+		}
+		res.Table.AddRow(fmt.Sprintf("%d", ra), elapsed.String(),
+			fmt.Sprintf("%.2fx", float64(base)/float64(elapsed)))
+	}
+	return res
+}
+
+// AblationWindowResult sweeps the QPair credit window under both credit
+// paths: how much window the collaborative design saves.
+type AblationWindowResult struct {
+	Windows   []int
+	QPairMBps []float64
+	CRMAMBps  []float64
+	Table     Table
+}
+
+// AblationWindow measures a 64 B stream at several window sizes.
+func AblationWindow() *AblationWindowResult {
+	res := &AblationWindowResult{
+		Windows: []int{4, 8, 16, 32, 64},
+		Table: Table{
+			Title:   "Ablation — credit window vs 64B stream bandwidth for both credit paths",
+			Columns: []string{"window", "qpair-credits MB/s", "crma-credits MB/s", "gain"},
+		},
+	}
+	run := func(window int, viaCRMA bool) float64 {
+		p := sim.Default()
+		rig := newPair(&p, 93)
+		defer rig.close()
+		cfg := transport.QPairConfig{Window: window, CreditBatch: window / 4, CreditViaCRMA: viaCRMA}
+		qa, qb := transport.ConnectQPair(rig.Local.EP, rig.Donor.EP, cfg)
+		const count = 2000
+		var done sim.Time
+		rig.Eng.Go("sink", func(pr *sim.Proc) {
+			for i := 0; i < count; i++ {
+				qb.RecvHW(pr)
+			}
+			done = pr.Now()
+		})
+		rig.run("stream", func(pr *sim.Proc) {
+			for i := 0; i < count; i++ {
+				qa.SendHW(pr, 64, nil)
+			}
+		})
+		return float64(count) * 64 / 1e6 / sim.Dur(done).Seconds()
+	}
+	for _, w := range res.Windows {
+		qp := run(w, false)
+		cr := run(w, true)
+		res.QPairMBps = append(res.QPairMBps, qp)
+		res.CRMAMBps = append(res.CRMAMBps, cr)
+		res.Table.AddRow(fmt.Sprintf("%d", w), f2(qp), f2(cr), pct(100*(cr-qp)/qp))
+	}
+	return res
+}
+
+// AblationGranularityResult finds the CRMA/RDMA crossover by transfer
+// size — the data behind the adaptive library's Advise threshold.
+type AblationGranularityResult struct {
+	Sizes []int
+	CRMA  []sim.Dur
+	RDMA  []sim.Dur
+	Table Table
+}
+
+// AblationGranularity measures a single remote transfer of each size
+// over both data channels.
+func AblationGranularity() *AblationGranularityResult {
+	res := &AblationGranularityResult{
+		Sizes: []int{64, 256, 1024, 4096, 16384, 65536},
+		Table: Table{
+			Title:   "Ablation — transfer size vs channel latency (the Advise crossover)",
+			Columns: []string{"size", "crma", "rdma", "winner"},
+		},
+	}
+	p := sim.Default()
+	rig := newPair(&p, 94)
+	defer rig.close()
+	win := rig.Local.NextHotplugWindow(1 << 20)
+	if _, err := rig.Local.EP.CRMA.Map(win, 1<<20, 1, 0x1000_0000); err != nil {
+		panic(err)
+	}
+	rig.Donor.EP.CRMA.Export(0, win, 1<<20, 0x1000_0000)
+	rig.run("sweep", func(pr *sim.Proc) {
+		for _, size := range res.Sizes {
+			t0 := pr.Now()
+			// CRMA moves data line by line (hardware fills, MSHR-limited).
+			for off := 0; off < size; off += p.CacheLine {
+				rig.Local.EP.CRMA.Fill(pr, win+uint64(off), p.CacheLine)
+			}
+			crma := pr.Now().Sub(t0)
+			t1 := pr.Now()
+			rig.Local.EP.RDMA.Read(pr, 1, 0x1000_0000, size)
+			rdma := pr.Now().Sub(t1)
+			res.CRMA = append(res.CRMA, crma)
+			res.RDMA = append(res.RDMA, rdma)
+			winner := "CRMA"
+			if rdma < crma {
+				winner = "RDMA"
+			}
+			res.Table.AddRow(fmt.Sprintf("%dB", size), crma.String(), rdma.String(), winner)
+		}
+	})
+	return res
+}

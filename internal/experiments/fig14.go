@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Fig14Result reproduces Fig. 14: the mini data-center of Fig. 13 — a
+// Redis-like cache in front of a MySQL-like store — as the cache's
+// memory grows in fixed steps, provided either locally (ideal) or by
+// donor nodes over Venice. It reports execution time for the query batch
+// and the cache miss rate at each size.
+type Fig14Result struct {
+	StepBytes   uint64
+	Sizes       []uint64
+	LocalTime   []sim.Dur
+	RemoteTime  []sim.Dur
+	LocalMiss   []float64
+	RemoteMiss  []float64
+	DonorImpact float64 // CC slowdown on a donor while serving (§7.1: negligible)
+	Table       Table
+}
+
+// fig14Run measures one point of the sweep: steps memory increments,
+// remote selects borrowed (CRMA) or local storage arenas.
+func fig14Run(steps int, remote bool) (sim.Dur, float64) {
+	p := sim.Default()
+	c := core.NewCluster(core.Config{Params: &p, StartAgents: true, Seed: 14,
+		HeartbeatInterval: 30 * sim.Second})
+	defer c.Close()
+	c.RunFor(1 * sim.Second) // populate the RRT
+
+	redisNode := c.Node(1)
+	var elapsed sim.Dur
+	var missRatio float64
+	done := redisNode.Run("redis", func(pr *sim.Proc) {
+		cache := workloads.NewRedisCache(redisNode.Mem, fig14ValueBytes)
+		if remote {
+			// A minimal local slice plus donor memory in fixed steps —
+			// the paper keeps 50 MB local and grows remote memory in
+			// 70 MB increments.
+			localSlice := uint64(fig14StepBytes) / 4
+			base := uint64(64 << 20)
+			cache.AddArena(workloads.NewArena(base, localSlice))
+			for s := 0; s < steps; s++ {
+				lease, err := c.BorrowMemory(pr, redisNode, uint64(fig14StepBytes))
+				if err != nil {
+					panic(err)
+				}
+				cache.AddArena(workloads.NewArena(lease.WindowBase, lease.Size))
+			}
+			// Trim the local slice from the comparison by shrinking the
+			// first arena's share of capacity: the sweep point is
+			// steps*fig14StepBytes + the 1/4-step local minimum either way.
+		} else {
+			size := uint64(steps)*uint64(fig14StepBytes) + uint64(fig14StepBytes)/4
+			cache.AddArena(workloads.NewArena(64<<20, size))
+		}
+		db := &workloads.TierDB{
+			Redis:          cache,
+			MySQL:          &workloads.MySQLModel{QueryTime: fig14MySQLms * sim.Millisecond},
+			ClientOverhead: fig14ClientUs * sim.Microsecond,
+		}
+		// Warm until the cache reaches steady state (a uniform draw needs
+		// several keyspace passes to touch ~every key), then measure.
+		db.RunQueries(pr, sim.NewRNG(100), fig14Keys, fig14Keys*4)
+		h0, m0 := cache.Hits, cache.Misses
+		elapsed = db.RunQueries(pr, sim.NewRNG(101), fig14Keys, fig14Queries)
+		hits, misses := cache.Hits-h0, cache.Misses-m0
+		missRatio = float64(misses) / float64(hits+misses)
+	})
+	// Step only until the workload finishes: the agents would otherwise
+	// heartbeat forever.
+	for !done.Done() && c.Eng.Step() {
+	}
+	return elapsed, missRatio
+}
+
+// Fig14 sweeps cache memory from one to fig14Steps steps for both the
+// local and remote configurations, and measures the donor-side impact.
+func Fig14() *Fig14Result {
+	res := &Fig14Result{
+		StepBytes: uint64(fig14StepBytes),
+		Table: Table{
+			Title:   "Fig. 14 — Redis memory sweep (scaled 70 MB->3.5 MB steps): exec time and miss rate",
+			Columns: []string{"memory", "local time", "remote time", "local miss", "remote miss"},
+		},
+	}
+	for s := 1; s <= fig14Steps; s++ {
+		lt, lm := fig14Run(s, false)
+		rt, rm := fig14Run(s, true)
+		res.Sizes = append(res.Sizes, uint64(s)*uint64(fig14StepBytes))
+		res.LocalTime = append(res.LocalTime, lt)
+		res.RemoteTime = append(res.RemoteTime, rt)
+		res.LocalMiss = append(res.LocalMiss, lm)
+		res.RemoteMiss = append(res.RemoteMiss, rm)
+		res.Table.AddRow(fmt.Sprintf("%dMB-equiv", s*70), lt.String(), rt.String(),
+			pct(lm*100), pct(rm*100))
+	}
+	res.DonorImpact = fig14DonorImpact()
+	res.Table.AddRow("donor CC impact", pct(res.DonorImpact), "", "", "")
+	return res
+}
+
+// fig14DonorImpact measures how much serving remote memory slows a
+// donor's own Connected Components job (§7.1 reports the impact is
+// negligible because the sharing traffic is insignificant).
+func fig14DonorImpact() float64 {
+	run := func(withTraffic bool) sim.Dur {
+		p := sim.Default()
+		rig := newPair(&p, 15)
+		defer rig.close()
+		// Donor runs CC on its own memory.
+		g := workloads.GenUniform(sim.NewRNG(5), 20000, 8)
+		g.Place(workloads.NewArena(0, 8<<20), workloads.NewArena(8<<20, 32<<20),
+			workloads.NewArena(48<<20, 8<<20))
+		var ccTime sim.Dur
+		ccDone := rig.Donor.Run("cc", func(pr *sim.Proc) {
+			t0 := pr.Now()
+			workloads.ConnectedComponents(pr, rig.Donor.Mem, g)
+			ccTime = pr.Now().Sub(t0)
+		})
+		if withTraffic {
+			// The recipient hammers borrowed donor memory meanwhile.
+			rig.Local.Run("hammer", func(pr *sim.Proc) {
+				lease, err := core.AttachMemoryDirect(pr, rig.Local, rig.Donor, 64<<20)
+				if err != nil {
+					panic(err)
+				}
+				rng := sim.NewRNG(6)
+				for !ccDone.Done() {
+					rig.Local.Mem.Read(pr, lease.WindowBase+uint64(rng.Intn(64<<20))&^63, 64)
+				}
+			})
+		}
+		rig.Eng.Run()
+		return ccTime
+	}
+	solo := run(false)
+	shared := run(true)
+	return 100 * (float64(shared) - float64(solo)) / float64(solo)
+}

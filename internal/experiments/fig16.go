@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/fabric"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/vnic"
+	"repro/internal/workloads"
+)
+
+// Fig16aResult reproduces Fig. 16a: FFT performance with a local
+// accelerator plus 1-3 remote accelerators, normalized to the local
+// accelerator alone. Higher is better; near-linear is the paper's
+// finding.
+type Fig16aResult struct {
+	Remotes []int
+	Small   []float64 // 8 MB-class dataset speedup
+	Large   []float64 // 512 MB-class dataset speedup
+	Table   Table
+}
+
+// fig16aRun measures the farm with k remote accelerators on a dataset.
+func fig16aRun(k, dataset int) sim.Dur {
+	p := sim.Default()
+	eng := sim.New()
+	defer eng.Close()
+	net := fabric.NewNetwork(eng, &p, fabric.Star(5), sim.NewRNG(16))
+	host := node.New(eng, &p, net, 0, 4<<30)
+	xfft := accel.FFT{MBps: 180, Setup: 20 * sim.Microsecond}
+	local := accel.New(eng, &p, xfft)
+	client := accel.NewClient(host)
+	var handles []*accel.RemoteHandle
+	for i := 0; i < k; i++ {
+		donor := node.New(eng, &p, net, fabric.NodeID(i+1), 4<<30)
+		dev := accel.New(eng, &p, xfft)
+		svc := accel.Serve(donor, dev)
+		svc.SetExclusive(0, host.ID)
+		defer svc.Shutdown()
+		handles = append(handles, client.Attach(donor.ID, 0, true))
+	}
+	var elapsed sim.Dur
+	host.Run("fft-farm", func(pr *sim.Proc) {
+		t0 := pr.Now()
+		workloads.FFTFarm(pr, eng, local, handles, dataset)
+		elapsed = pr.Now().Sub(t0)
+	})
+	eng.Run()
+	return elapsed
+}
+
+// Fig16a sweeps LA+1RA..LA+3RA for both dataset classes.
+func Fig16a() *Fig16aResult {
+	res := &Fig16aResult{
+		Remotes: []int{1, 2, 3},
+		Table: Table{
+			Title:   "Fig. 16a — FFT speedup vs one local accelerator (paper: near-linear)",
+			Columns: []string{"config", "8MB-class", "512MB-class", "ideal"},
+		},
+	}
+	baseSmall := fig16aRun(0, fftSmallBytes)
+	baseLarge := fig16aRun(0, fftLargeBytes)
+	for _, k := range res.Remotes {
+		s := float64(baseSmall) / float64(fig16aRun(k, fftSmallBytes))
+		l := float64(baseLarge) / float64(fig16aRun(k, fftLargeBytes))
+		res.Small = append(res.Small, s)
+		res.Large = append(res.Large, l)
+		res.Table.AddRow(fmt.Sprintf("LA+%dRA", k), f2(s), f2(l), fmt.Sprintf("%d", k+1))
+	}
+	return res
+}
+
+// Fig16bResult reproduces Fig. 16b: iperf throughput with a local NIC
+// plus 1-3 remote NICs, normalized to the local NIC alone, for tiny
+// (4 B) and normal (256 B) packets.
+type Fig16bResult struct {
+	Remotes []int
+	Tiny    []float64
+	Normal  []float64
+	Table   Table
+}
+
+// fig16bRun measures bonded throughput with k remote NICs.
+func fig16bRun(k, pktSize int) float64 {
+	p := sim.Default()
+	eng := sim.New()
+	defer eng.Close()
+	net := fabric.NewNetwork(eng, &p, fabric.Star(5), sim.NewRNG(17))
+	host := node.New(eng, &p, net, 0, 1<<30)
+	local := vnic.NewNIC(eng, &p, "eth0")
+	slaves := []vnic.Slave{&vnic.LocalSlave{NIC: local}}
+	for i := 0; i < k; i++ {
+		donor := node.New(eng, &p, net, fabric.NodeID(i+1), 1<<30)
+		dn := vnic.NewNIC(eng, &p, fmt.Sprintf("eth0@%v", donor.ID))
+		slaves = append(slaves, vnic.AttachRemote(host, donor, dn))
+	}
+	bond := vnic.NewBond(&p, slaves...)
+	var rep workloads.IperfReport
+	host.Run("iperf", func(pr *sim.Proc) {
+		rep = workloads.IperfBond(pr, bond, pktSize, iperfPackets)
+	})
+	eng.RunFor(120 * sim.Second)
+	return rep.MBps()
+}
+
+// Fig16b sweeps LN+1RN..LN+3RN for both packet sizes.
+func Fig16b() *Fig16bResult {
+	res := &Fig16bResult{
+		Remotes: []int{1, 2, 3},
+		Table: Table{
+			Title:   "Fig. 16b — iperf throughput vs one local NIC (paper: ~40% util @4B, ~85% @256B with 3RN)",
+			Columns: []string{"config", "4B pkts", "util", "256B pkts", "util"},
+		},
+	}
+	baseTiny := fig16bRun(0, iperfSmall)
+	baseNormal := fig16bRun(0, iperfBig)
+	for _, k := range res.Remotes {
+		ty := fig16bRun(k, iperfSmall) / baseTiny
+		no := fig16bRun(k, iperfBig) / baseNormal
+		res.Tiny = append(res.Tiny, ty)
+		res.Normal = append(res.Normal, no)
+		ideal := float64(k + 1)
+		res.Table.AddRow(fmt.Sprintf("LN+%dRN", k), f2(ty), pct(100*ty/ideal),
+			f2(no), pct(100*no/ideal))
+	}
+	return res
+}

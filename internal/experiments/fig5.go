@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/workloads"
+)
+
+// fig5Config names the five §4.2 configurations.
+var fig5Configs = []string{
+	"off-chip qpair", "on-chip qpair", "async on-chip qpair",
+	"off-chip crma", "on-chip crma",
+}
+
+// Fig5Result reproduces Fig. 5: relative performance of remote-memory
+// access designs, normalized to all memory local. Lower is better.
+type Fig5Result struct {
+	Configs    []string
+	PageRank   []float64
+	BerkeleyDB []float64
+	Table      Table
+}
+
+// fig5Opts selects one configuration's knobs.
+type fig5Opts struct {
+	useQPair bool
+	offChip  bool
+	window   int // QPair client pipelining (async style)
+	router   bool
+}
+
+func optsFor(config string, router bool) fig5Opts {
+	o := fig5Opts{router: router, window: 1}
+	switch config {
+	case "off-chip qpair":
+		o.useQPair, o.offChip = true, true
+	case "on-chip qpair":
+		o.useQPair = true
+	case "async on-chip qpair":
+		o.useQPair = true
+		o.window = 16
+	case "off-chip crma":
+		o.offChip = true
+	case "on-chip crma":
+	}
+	return o
+}
+
+// fig5Rig builds the two-node setup with the requested interface
+// placement and optional external router.
+func fig5Rig(o fig5Opts, seed uint64) *pairRig {
+	p := sim.Default()
+	rig := newPair(&p, seed)
+	if o.offChip {
+		rig.Net.Switch(0).SetOffChip(true)
+		rig.Net.Switch(1).SetOffChip(true)
+	}
+	if o.router {
+		rig.Net.InsertRouter(0, 1)
+	}
+	return rig
+}
+
+// mountWindow maps a CRMA window of size bytes to the donor and returns
+// its base.
+func mountWindow(rig *pairRig, size uint64) uint64 {
+	win := rig.Local.NextHotplugWindow(size)
+	if _, err := rig.Local.EP.CRMA.Map(win, size, 1, 0x1000_0000); err != nil {
+		panic(err)
+	}
+	rig.Donor.EP.CRMA.Export(0, win, size, 0x1000_0000)
+	mustAdd(rig, &memsys.Region{Base: win, Size: size,
+		Backend: &memsys.CRMARemote{CRMA: rig.Local.EP.CRMA, Donor: 1}})
+	return win
+}
+
+// fig5BDB measures the BerkeleyDB workload under one configuration (or
+// the all-local baseline when config is empty). The record heap lives on
+// the remote node; the index is client-local, as in the paper's setup
+// ("the key is used to look up the address of the corresponding
+// record"; "the server stores the records in remote memory").
+func fig5BDB(config string, router bool) sim.Dur {
+	const recordsBytes = uint64(bdbKeysFig5 * bdbRecordSize)
+	var elapsed sim.Dur
+	if config == "" { // all-local baseline
+		rig := fig5Rig(fig5Opts{}, 55)
+		defer rig.close()
+		rig.run("bdb-local", func(pr *sim.Proc) {
+			kv := workloads.BuildBTree(pr, rig.Local.Mem,
+				workloads.NewArena(0, 256<<20), workloads.NewArena(256<<20, 512<<20),
+				bdbKeysFig5, bdbRecordSize, bdbFanout)
+			rng := sim.NewRNG(88)
+			kv.OLTPMix(pr, rng, 40)
+			t0 := pr.Now()
+			kv.OLTPMix(pr, rng, bdbTxnsFig5)
+			rig.Local.Mem.Flush(pr)
+			elapsed = pr.Now().Sub(t0)
+		})
+		return elapsed
+	}
+	o := optsFor(config, router)
+	rig := fig5Rig(o, 55)
+	defer rig.close()
+	if o.useQPair {
+		qa, qb := transport.ConnectQPair(rig.Local.EP, rig.Donor.EP, transport.QPairConfig{})
+		// The donor-side server handles each query in BDB's software
+		// stack before touching its memory.
+		workloads.ServeKV(rig.Eng, "bdb-server",
+			&workloads.DataServer{H: rig.Donor.Mem, QP: qb, Think: 8 * sim.Microsecond})
+		rig.run("bdb-"+config, func(pr *sim.Proc) {
+			idx := workloads.BuildBTreeIndex(pr, rig.Local.Mem,
+				workloads.NewArena(0, 256<<20), workloads.NewArena(0x1000_0000, 512<<20),
+				bdbKeysFig5, bdbRecordSize, bdbFanout)
+			rkv := &workloads.RemoteKV{Index: idx, QP: qa}
+			rng := sim.NewRNG(88)
+			rkv.OLTPMix(pr, rng, 40)
+			t0 := pr.Now()
+			// BerkeleyDB transactions are dependent, so the asynchronous
+			// rewrite gains nothing (§4.2.1) — both run synchronously.
+			rkv.OLTPMix(pr, rng, bdbTxnsFig5)
+			elapsed = pr.Now().Sub(t0)
+			rkv.Close(pr)
+		})
+		return elapsed
+	}
+	// CRMA: records in the mapped window, index local.
+	rig.run("bdb-"+config, func(pr *sim.Proc) {
+		win := mountWindow(rig, recordsBytes+(64<<20))
+		kv := workloads.BuildBTree(pr, rig.Local.Mem,
+			workloads.NewArena(0, 256<<20), workloads.NewArena(win, recordsBytes+(64<<20)),
+			bdbKeysFig5, bdbRecordSize, bdbFanout)
+		rng := sim.NewRNG(88)
+		kv.OLTPMix(pr, rng, 40)
+		t0 := pr.Now()
+		kv.OLTPMix(pr, rng, bdbTxnsFig5)
+		rig.Local.Mem.Flush(pr)
+		elapsed = pr.Now().Sub(t0)
+	})
+	return elapsed
+}
+
+// fig5PR measures PageRank under one configuration (empty = all-local).
+// The edge array lives on the remote node; row offsets and ranks stay
+// local.
+func fig5PR(config string, router bool) sim.Dur {
+	var elapsed sim.Dur
+	buildGraph := func() *workloads.Graph {
+		return workloads.GenUniform(sim.NewRNG(4), prVertices, prDegree)
+	}
+	if config == "" {
+		rig := fig5Rig(fig5Opts{}, 56)
+		defer rig.close()
+		g := buildGraph()
+		g.Place(workloads.NewArena(0, 16<<20), workloads.NewArena(16<<20, 64<<20),
+			workloads.NewArena(96<<20, 16<<20))
+		rig.run("pr-local", func(pr *sim.Proc) {
+			workloads.PageRank(pr, rig.Local.Mem, g, 1) // warm
+			t0 := pr.Now()
+			workloads.PageRank(pr, rig.Local.Mem, g, prIters)
+			rig.Local.Mem.Flush(pr)
+			elapsed = pr.Now().Sub(t0)
+		})
+		return elapsed
+	}
+	o := optsFor(config, router)
+	rig := fig5Rig(o, 56)
+	defer rig.close()
+	g := buildGraph()
+	if o.useQPair {
+		g.Place(workloads.NewArena(0, 16<<20), workloads.NewArena(0x1000_0000, 64<<20),
+			workloads.NewArena(96<<20, 16<<20))
+		qa, qb := transport.ConnectQPair(rig.Local.EP, rig.Donor.EP, transport.QPairConfig{})
+		workloads.ServeKV(rig.Eng, "edge-server",
+			&workloads.DataServer{H: rig.Donor.Mem, QP: qb, Think: 500 * sim.Nanosecond})
+		rig.run("pr-"+config, func(pr *sim.Proc) {
+			workloads.PageRankQPair(pr, rig.Local.Mem, g, qa, 1, o.window) // warm
+			t0 := pr.Now()
+			workloads.PageRankQPair(pr, rig.Local.Mem, g, qa, prIters, o.window)
+			elapsed = pr.Now().Sub(t0)
+			workloads.CloseServer(pr, qa)
+		})
+		return elapsed
+	}
+	rig.run("pr-"+config, func(pr *sim.Proc) {
+		win := mountWindow(rig, 256<<20)
+		g.Place(workloads.NewArena(0, 16<<20), workloads.NewArena(win, 256<<20),
+			workloads.NewArena(96<<20, 16<<20))
+		workloads.PageRank(pr, rig.Local.Mem, g, 1) // warm
+		t0 := pr.Now()
+		workloads.PageRank(pr, rig.Local.Mem, g, prIters)
+		rig.Local.Mem.Flush(pr)
+		elapsed = pr.Now().Sub(t0)
+	})
+	return elapsed
+}
+
+// Fig5 runs the five configurations for both workloads, normalized to
+// all-local execution.
+func Fig5() *Fig5Result {
+	prBase := fig5PR("", false)
+	bdbBase := fig5BDB("", false)
+	res := &Fig5Result{
+		Configs: fig5Configs,
+		Table: Table{
+			Title:   "Fig. 5 — exec time normalized to all-local memory (lower is better)",
+			Columns: []string{"config", "PageRank", "paper", "BerkeleyDB", "paper"},
+		},
+	}
+	paperPR := []string{"7.69", "5.96", "3.12", "3.01", "2.12"}
+	paperBDB := []string{"11.92", "10.91", "10.83", "3.43", "2.48"}
+	for i, c := range fig5Configs {
+		pr := float64(fig5PR(c, false)) / float64(prBase)
+		bdb := float64(fig5BDB(c, false)) / float64(bdbBase)
+		res.PageRank = append(res.PageRank, pr)
+		res.BerkeleyDB = append(res.BerkeleyDB, bdb)
+		res.Table.AddRow(c, f2(pr), paperPR[i], f2(bdb), paperBDB[i])
+	}
+	return res
+}
+
+// Fig6Result reproduces Fig. 6: the added overhead of a one-level
+// external router between the two nodes, per configuration.
+type Fig6Result struct {
+	Configs    []string
+	PageRank   []float64 // percent overhead
+	BerkeleyDB []float64
+	Table      Table
+}
+
+// Fig6 measures each configuration with and without the router.
+func Fig6() *Fig6Result {
+	res := &Fig6Result{
+		Configs: fig5Configs,
+		Table: Table{
+			Title:   "Fig. 6 — performance overhead with a one-level router",
+			Columns: []string{"config", "PageRank", "paper", "BerkeleyDB", "paper"},
+		},
+	}
+	paperPR := []string{"11.70%", "13.42%", "2.02%", "13.92%", "22.72%"}
+	paperBDB := []string{"7.66%", "7.33%", "7.39%", "11.08%", "16.13%"}
+	for i, c := range fig5Configs {
+		prDirect := fig5PR(c, false)
+		prRouted := fig5PR(c, true)
+		bdbDirect := fig5BDB(c, false)
+		bdbRouted := fig5BDB(c, true)
+		prOv := 100 * (float64(prRouted) - float64(prDirect)) / float64(prDirect)
+		bdbOv := 100 * (float64(bdbRouted) - float64(bdbDirect)) / float64(bdbDirect)
+		res.PageRank = append(res.PageRank, prOv)
+		res.BerkeleyDB = append(res.BerkeleyDB, bdbOv)
+		res.Table.AddRow(c, pct(prOv), paperPR[i], pct(bdbOv), paperBDB[i])
+	}
+	return res
+}

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDownLinkDropsAfterBoundedReplay(t *testing.T) {
+	eng, net, logs := testNet(t, Pair())
+	net.SetLinkDown(0, 1, true)
+	eng.Schedule(0, func() {
+		net.Send(&Packet{Src: 0, Dst: 1, Kind: "doomed", Size: 64})
+	})
+	eng.Run() // must terminate: replay is bounded
+	if len(logs[1]) != 0 {
+		t.Fatal("packet delivered over a down link")
+	}
+	s := net.Link(0, 1).Stats()
+	if s.Replays < maxReplays {
+		t.Fatalf("replays = %d, want the full bound %d", s.Replays, maxReplays)
+	}
+	if s.Replays > maxReplays+1 {
+		t.Fatalf("replays = %d, exceeded the bound", s.Replays)
+	}
+}
+
+func TestLinkRecoveryAfterRepair(t *testing.T) {
+	eng, net, logs := testNet(t, Pair())
+	net.SetLinkDown(0, 1, true)
+	eng.Schedule(0, func() {
+		net.Send(&Packet{Src: 0, Dst: 1, Kind: "lost", Size: 64})
+	})
+	// Repair the link long after the replay budget is spent, then send
+	// fresh traffic.
+	eng.Schedule(sim.Time(10*sim.Millisecond).Sub(0), func() {
+		net.SetLinkDown(0, 1, false)
+		net.Send(&Packet{Src: 0, Dst: 1, Kind: "fresh", Size: 64})
+	})
+	eng.Run()
+	if len(logs[1]) != 1 || logs[1][0].pkt.Kind != "fresh" {
+		t.Fatalf("after repair got %d deliveries", len(logs[1]))
+	}
+	if net.Link(0, 1).Down() {
+		t.Fatal("link still marked down")
+	}
+}
+
+func TestCreditsRecoveredAfterDrops(t *testing.T) {
+	// A lost packet must return its datalink credit when the sender
+	// gives up, or the link wedges forever.
+	eng := sim.New()
+	defer eng.Close()
+	p := sim.Default()
+	p.LinkCredits = 2
+	net := NewNetwork(eng, &p, Pair(), sim.NewRNG(5))
+	got := 0
+	net.SetDelivery(1, func(*Packet) { got++ })
+	net.SetDelivery(0, func(*Packet) {})
+	net.SetLinkDown(0, 1, true)
+	eng.Schedule(0, func() {
+		for i := 0; i < 4; i++ { // more than the credit budget
+			net.Send(&Packet{Src: 0, Dst: 1, Kind: "lost", Size: 64})
+		}
+	})
+	eng.RunFor(50 * sim.Millisecond)
+	net.SetLinkDown(0, 1, false)
+	eng.Schedule(0, func() {
+		for i := 0; i < 8; i++ {
+			net.Send(&Packet{Src: 0, Dst: 1, Kind: "fresh", Size: 64})
+		}
+	})
+	eng.Run()
+	if got != 8 {
+		t.Fatalf("delivered %d fresh packets, want 8 (credits leaked?)", got)
+	}
+}
+
+func TestHeavyCRCStormStillDelivers(t *testing.T) {
+	eng, net, logs := testNet(t, Pair())
+	net.SetErrorRate(0.45) // nearly half of all packets corrupted
+	const n = 100
+	eng.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			net.Send(&Packet{Src: 0, Dst: 1, Kind: "storm", Size: 128})
+		}
+	})
+	eng.Run()
+	if len(logs[1]) != n {
+		t.Fatalf("delivered %d/%d under CRC storm", len(logs[1]), n)
+	}
+}
+
+// Property: routing on a random connected topology (a random spanning
+// tree plus extra edges) delivers between every sampled pair along a
+// shortest path.
+func TestRandomTopologyRoutingProperty(t *testing.T) {
+	prop := func(seed uint64, sz uint8) bool {
+		n := int(sz%10) + 3
+		rng := sim.NewRNG(seed)
+		topo := Topology{Name: "rand", N: n}
+		// Spanning tree first (connectivity), then a few chords.
+		for v := 1; v < n; v++ {
+			topo.Edges = append(topo.Edges, [2]NodeID{NodeID(rng.Intn(v)), NodeID(v)})
+		}
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				topo.Edges = append(topo.Edges, [2]NodeID{NodeID(a), NodeID(b)})
+			}
+		}
+		p := sim.Default()
+		p.LinkPorts = 64 // random graphs can exceed the radix budget
+		eng := sim.New()
+		defer eng.Close()
+		net := NewNetwork(eng, &p, topo, sim.NewRNG(1))
+		type got struct {
+			pkt *Packet
+		}
+		delivered := make(map[NodeID]*Packet)
+		for i := 0; i < n; i++ {
+			i := NodeID(i)
+			net.SetDelivery(i, func(pkt *Packet) { delivered[i] = pkt })
+		}
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		if src == dst {
+			return true
+		}
+		eng.Schedule(0, func() {
+			net.Send(&Packet{Src: src, Dst: dst, Kind: "prop", Size: 64})
+		})
+		eng.Run()
+		pkt := delivered[dst]
+		_ = got{}
+		return pkt != nil && pkt.Hops == topo.HopCount(src, dst)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hop counts are symmetric and satisfy the triangle
+// inequality on the mesh.
+func TestHopCountMetricProperties(t *testing.T) {
+	topo := Mesh3D(2, 2, 2)
+	prop := func(a, b, c uint8) bool {
+		x, y, z := NodeID(a%8), NodeID(b%8), NodeID(c%8)
+		if topo.HopCount(x, y) != topo.HopCount(y, x) {
+			return false
+		}
+		return topo.HopCount(x, z) <= topo.HopCount(x, y)+topo.HopCount(y, z)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// receiver consumes packets arriving over a link.
+type receiver interface {
+	receive(pkt *Packet, from *Link)
+}
+
+// LinkStats exposes a link's lifetime counters.
+type LinkStats struct {
+	Packets     int64
+	Bytes       int64
+	Corrupted   int64 // dropped by receiver CRC check
+	Replays     int64 // retransmissions by the sender replay mechanism
+	CreditStall int64 // packets that had to wait for a datalink credit
+	BusyTime    sim.Dur
+}
+
+// Link is one unidirectional point-to-point channel: serializer, wire,
+// and the datalink protocol of §5.1.1 (credit-based flow control toward
+// the receiver's buffers, CRC error detection at the receiver, replay at
+// the sender).
+type Link struct {
+	eng  *sim.Engine
+	p    *sim.Params
+	name string
+	to   receiver
+
+	// fixed is the total latency a packet pays in flight after leaving the
+	// serializer: sender PHY + propagation + receiver PHY. Router-adjacent
+	// links override it (the router's retimer PHYs are cheaper than a full
+	// node SerDes).
+	fixed sim.Dur
+
+	nextFree sim.Time // serializer occupancy (bandwidth model)
+	credits  int      // datalink credits available at the sender
+	waitQ    []*Packet
+
+	errRate float64 // probability a packet arrives corrupted
+	rng     *sim.RNG
+	down    bool
+
+	pendingAck map[uint64]*Packet // awaiting receiver ack, for replay
+	replays    map[uint64]int
+	linkSeq    uint64
+
+	stats LinkStats
+}
+
+// maxReplays bounds retransmission attempts before a packet is declared
+// lost (the datalink gives up; the fault surfaces in the Topology Status
+// Table rather than as an infinite replay storm).
+const maxReplays = 8
+
+// newLink wires a unidirectional link delivering to dst.
+func newLink(eng *sim.Engine, p *sim.Params, name string, dst receiver, rng *sim.RNG) *Link {
+	return &Link{
+		eng:        eng,
+		p:          p,
+		name:       name,
+		to:         dst,
+		fixed:      2*p.PhyLatency + p.Propagation,
+		credits:    p.LinkCredits,
+		rng:        rng,
+		pendingAck: make(map[uint64]*Packet),
+		replays:    make(map[uint64]int),
+	}
+}
+
+// Name reports the link's diagnostic name, e.g. "n0->n1".
+func (l *Link) Name() string { return l.name }
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetErrorRate enables CRC fault injection: each packet independently
+// arrives corrupted with probability r. The receiver drops corrupted
+// packets; the sender replays them after the replay timeout.
+func (l *Link) SetErrorRate(r float64) {
+	if r < 0 || r >= 1 {
+		panic(fmt.Sprintf("fabric: error rate %v out of [0,1)", r))
+	}
+	l.errRate = r
+}
+
+// SetDown marks the link failed (packets vanish in flight) or restores
+// it. The datalink's bounded replay gives up on packets lost to a down
+// link; the runtime's Topology Status Table reflects the failure via
+// agent probes.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// Utilization reports the fraction of the interval [0, now] the
+// serializer was busy.
+func (l *Link) Utilization() float64 {
+	now := l.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return l.stats.BusyTime.Seconds() / sim.Dur(now).Seconds()
+}
+
+// send queues a packet for transmission, respecting datalink credits.
+func (l *Link) send(pkt *Packet) {
+	if l.credits == 0 {
+		l.stats.CreditStall++
+		l.waitQ = append(l.waitQ, pkt)
+		return
+	}
+	l.credits--
+	l.transmit(pkt, false)
+}
+
+// transmit pushes one packet through the serializer and schedules its
+// arrival. A replay keeps its already-assigned sequence number.
+func (l *Link) transmit(pkt *Packet, isReplay bool) {
+	now := l.eng.Now()
+	ser := l.p.Serialize(pkt.Size)
+	depart := now
+	if l.nextFree > depart {
+		depart = l.nextFree
+	}
+	l.nextFree = depart.Add(ser)
+	l.stats.BusyTime += ser
+	l.stats.Packets++
+	l.stats.Bytes += int64(pkt.Size)
+
+	seq := l.linkSeq
+	l.linkSeq++
+	l.pendingAck[seq] = pkt
+	if isReplay {
+		l.stats.Replays++
+	}
+
+	arrive := l.nextFree.Add(l.fixed)
+	l.eng.At(arrive, func() { l.arrive(pkt, seq) })
+	// Sender-side replay timer: anchored past the latest instant a
+	// successful ack could clear the entry (arrival + reverse flight),
+	// plus the configured timeout margin.
+	ackBy := arrive.Add(l.fixed + l.p.Serialize(0))
+	l.eng.At(ackBy.Add(l.p.ReplayTO), func() { l.checkReplay(seq) })
+}
+
+// arrive runs at the receiver: CRC check, ack, delivery, credit return.
+func (l *Link) arrive(pkt *Packet, seq uint64) {
+	if l.down {
+		return // lost in flight; replay until the bound, then give up
+	}
+	if l.errRate > 0 && l.rng != nil && l.rng.Bool(l.errRate) {
+		l.stats.Corrupted++
+		return // no ack; the sender's replay timer will fire
+	}
+	// Ack flows back over the paired reverse channel; model it as a fixed
+	// small-packet delay without charging the serializer.
+	ackDelay := l.fixed + l.p.Serialize(0)
+	l.eng.Schedule(ackDelay, func() { delete(l.pendingAck, seq) })
+	// The receiver buffer frees once the switch has taken the packet;
+	// return the credit after that plus the reverse flight.
+	l.eng.Schedule(l.p.SwitchLat+ackDelay, l.returnCredit)
+	l.to.receive(pkt, l)
+}
+
+// returnCredit hands a buffer credit back to the sender and drains the
+// wait queue.
+func (l *Link) returnCredit() {
+	l.credits++
+	if len(l.waitQ) > 0 && l.credits > 0 {
+		pkt := l.waitQ[0]
+		l.waitQ = l.waitQ[1:]
+		l.credits--
+		l.transmit(pkt, false)
+	}
+}
+
+// checkReplay retransmits a packet whose ack never arrived, up to the
+// replay bound.
+func (l *Link) checkReplay(seq uint64) {
+	pkt, ok := l.pendingAck[seq]
+	if !ok {
+		delete(l.replays, seq)
+		return // acked
+	}
+	delete(l.pendingAck, seq)
+	n := l.replays[seq] + 1
+	delete(l.replays, seq)
+	if n > maxReplays {
+		l.returnCredit() // free the buffer the lost packet held
+		return
+	}
+	l.transmitReplayed(pkt, n)
+}
+
+// transmitReplayed resends a packet carrying its replay count forward.
+func (l *Link) transmitReplayed(pkt *Packet, count int) {
+	l.transmit(pkt, true)
+	// transmit assigned a fresh link sequence number; propagate the count.
+	l.replays[l.linkSeq-1] = count
+}

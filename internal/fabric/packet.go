@@ -1,0 +1,37 @@
+// Package fabric implements the Venice resource-sharing interconnect
+// (§5.1 of the paper): point-to-point links with bandwidth and
+// propagation modeling, a datalink layer with credit-based flow control
+// and CRC-detected replay, embedded low-radix switches for "switchless"
+// direct chip-to-chip communication, an optional external one-level
+// router (the Fig. 6 experiment), and standard topologies including the
+// prototype's 3D mesh.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node (an endpoint with an embedded switch) in the
+// fabric. IDs are dense, starting at zero.
+type NodeID int
+
+// String formats the id as "n3".
+func (n NodeID) String() string { return fmt.Sprintf("n%d", int(n)) }
+
+// Packet is one transport-layer packet on the wire. The fabric treats the
+// payload as opaque; Kind tags the packet for statistics and demux.
+type Packet struct {
+	Src, Dst NodeID
+	Kind     string // e.g. "crma.req", "rdma.data", "qpair.msg", "credit"
+	Size     int    // payload bytes (header overhead added by the link model)
+	Payload  any    // transport-defined contents
+	Injected sim.Time
+	Hops     int // incremented per switch traversal, for diagnostics
+}
+
+// String formats a packet for debugging.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s->%s %s %dB", p.Src, p.Dst, p.Kind, p.Size)
+}

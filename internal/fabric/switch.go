@@ -1,0 +1,144 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DeliverFunc receives packets destined for a node's local port; the
+// transport layer registers one per node.
+type DeliverFunc func(*Packet)
+
+// Switch is the low-dimension switch embedded in each Venice processor
+// (§5.1.1): a handful of external ports plus one local port, enabling
+// "switchless" direct chip-to-chip communication without an intermediary
+// switch module.
+type Switch struct {
+	eng *sim.Engine
+	p   *sim.Params
+
+	id     NodeID
+	lat    sim.Dur
+	ports  map[NodeID]*Link // neighbor -> outgoing link
+	routes map[NodeID]NodeID
+	local  DeliverFunc
+
+	// Extra per-direction latency modeling interface placement: zero for
+	// on-chip interface logic, Params.OffChipCrossing when the Venice
+	// interface sits across the I/O bus (Figs. 5-6 off-chip configs).
+	injectExtra  sim.Dur
+	deliverExtra sim.Dur
+
+	delivered int64
+	forwarded int64
+}
+
+func newSwitch(eng *sim.Engine, p *sim.Params, id NodeID) *Switch {
+	return &Switch{
+		eng:    eng,
+		p:      p,
+		id:     id,
+		lat:    p.SwitchLat,
+		ports:  make(map[NodeID]*Link),
+		routes: make(map[NodeID]NodeID),
+	}
+}
+
+// ID reports the switch's node id.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Degree reports the number of external ports in use.
+func (s *Switch) Degree() int { return len(s.ports) }
+
+// SetOffChip moves this node's fabric interface across the I/O bus: every
+// injection and local delivery pays one extra Params.OffChipCrossing.
+func (s *Switch) SetOffChip(offChip bool) {
+	if offChip {
+		s.injectExtra = s.p.OffChipCrossing
+		s.deliverExtra = s.p.OffChipCrossing
+	} else {
+		s.injectExtra = 0
+		s.deliverExtra = 0
+	}
+}
+
+// Inject sends a packet from this node's local port into the fabric.
+func (s *Switch) Inject(pkt *Packet) {
+	if pkt.Src != s.id {
+		panic(fmt.Sprintf("fabric: inject at %v of packet from %v", s.id, pkt.Src))
+	}
+	pkt.Injected = s.eng.Now()
+	if s.injectExtra > 0 {
+		s.eng.Schedule(s.injectExtra, func() { s.route(pkt) })
+		return
+	}
+	s.route(pkt)
+}
+
+// receive implements the link receiver: one switch traversal, then route.
+func (s *Switch) receive(pkt *Packet, _ *Link) {
+	pkt.Hops++
+	s.eng.Schedule(s.lat, func() { s.route(pkt) })
+}
+
+// route forwards a packet toward its destination or delivers it locally.
+func (s *Switch) route(pkt *Packet) {
+	if pkt.Dst == s.id {
+		s.delivered++
+		deliver := func() {
+			if s.local == nil {
+				panic(fmt.Sprintf("fabric: node %v has no delivery handler for %v", s.id, pkt))
+			}
+			s.local(pkt)
+		}
+		if s.deliverExtra > 0 {
+			s.eng.Schedule(s.deliverExtra, deliver)
+			return
+		}
+		deliver()
+		return
+	}
+	next, ok := s.routes[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("fabric: node %v has no route to %v", s.id, pkt.Dst))
+	}
+	link, ok := s.ports[next]
+	if !ok {
+		panic(fmt.Sprintf("fabric: node %v has no port toward %v", s.id, next))
+	}
+	s.forwarded++
+	link.send(pkt)
+}
+
+// Router is an external one-level switch module inserted between two
+// directly-connected nodes — the Fig. 6 experiment. It is a
+// bump-in-the-wire: traffic arriving from one side leaves on the other
+// after the router traversal latency.
+type Router struct {
+	eng  *sim.Engine
+	p    *sim.Params
+	name string
+	lat  sim.Dur
+	out  map[*Link]*Link // incoming link -> outgoing link on the far side
+
+	forwarded int64
+}
+
+func newRouter(eng *sim.Engine, p *sim.Params, name string) *Router {
+	return &Router{eng: eng, p: p, name: name, lat: p.RouterLat, out: make(map[*Link]*Link)}
+}
+
+// Forwarded reports how many packets crossed the router.
+func (r *Router) Forwarded() int64 { return r.forwarded }
+
+// receive implements the link receiver for the router.
+func (r *Router) receive(pkt *Packet, from *Link) {
+	pkt.Hops++
+	outLink, ok := r.out[from]
+	if !ok {
+		panic("fabric: router received packet on unknown link")
+	}
+	r.forwarded++
+	r.eng.Schedule(r.lat, func() { outLink.send(pkt) })
+}

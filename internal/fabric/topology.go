@@ -1,0 +1,166 @@
+package fabric
+
+import "fmt"
+
+// Topology describes which node pairs have direct links. Links are
+// created in both directions for every adjacency.
+type Topology struct {
+	Name  string
+	N     int
+	Edges [][2]NodeID
+}
+
+// Pair returns two directly connected nodes — the configuration of the
+// §4.2 latency experiments ("directly connected, without an intermediate
+// router node").
+func Pair() Topology {
+	return Topology{Name: "pair", N: 2, Edges: [][2]NodeID{{0, 1}}}
+}
+
+// Line returns n nodes in a chain.
+func Line(n int) Topology {
+	t := Topology{Name: fmt.Sprintf("line%d", n), N: n}
+	for i := 0; i < n-1; i++ {
+		t.Edges = append(t.Edges, [2]NodeID{NodeID(i), NodeID(i + 1)})
+	}
+	return t
+}
+
+// Star returns n nodes all connected to node 0.
+func Star(n int) Topology {
+	t := Topology{Name: fmt.Sprintf("star%d", n), N: n}
+	for i := 1; i < n; i++ {
+		t.Edges = append(t.Edges, [2]NodeID{0, NodeID(i)})
+	}
+	return t
+}
+
+// FullMesh returns n fully interconnected nodes.
+func FullMesh(n int) Topology {
+	t := Topology{Name: fmt.Sprintf("full%d", n), N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.Edges = append(t.Edges, [2]NodeID{NodeID(i), NodeID(j)})
+		}
+	}
+	return t
+}
+
+// Mesh3D returns an x×y×z mesh. Mesh3D(2,2,2) is the prototype's
+// eight-node 3D mesh (Fig. 4 / Table 1). Node (i,j,k) has id
+// i + j*x + k*x*y.
+func Mesh3D(x, y, z int) Topology {
+	if x < 1 || y < 1 || z < 1 {
+		panic("fabric: mesh dimensions must be positive")
+	}
+	t := Topology{Name: fmt.Sprintf("mesh%dx%dx%d", x, y, z), N: x * y * z}
+	id := func(i, j, k int) NodeID { return NodeID(i + j*x + k*x*y) }
+	for k := 0; k < z; k++ {
+		for j := 0; j < y; j++ {
+			for i := 0; i < x; i++ {
+				if i+1 < x {
+					t.Edges = append(t.Edges, [2]NodeID{id(i, j, k), id(i+1, j, k)})
+				}
+				if j+1 < y {
+					t.Edges = append(t.Edges, [2]NodeID{id(i, j, k), id(i, j+1, k)})
+				}
+				if k+1 < z {
+					t.Edges = append(t.Edges, [2]NodeID{id(i, j, k), id(i, j, k+1)})
+				}
+			}
+		}
+	}
+	return t
+}
+
+// NeighborsOf reports the nodes directly connected to id, in
+// deterministic (edge-construction) order.
+func (t Topology) NeighborsOf(id NodeID) []NodeID {
+	return t.adjacency()[id]
+}
+
+// adjacency builds neighbor lists (sorted by construction order, which is
+// deterministic).
+func (t Topology) adjacency() [][]NodeID {
+	adj := make([][]NodeID, t.N)
+	for _, e := range t.Edges {
+		a, b := e[0], e[1]
+		if a < 0 || int(a) >= t.N || b < 0 || int(b) >= t.N || a == b {
+			panic(fmt.Sprintf("fabric: bad edge %v in topology %s", e, t.Name))
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	return adj
+}
+
+// shortestNextHops computes, for every source, the next hop on a shortest
+// path to every destination (BFS; ties broken by neighbor insertion
+// order, making routes deterministic).
+func (t Topology) shortestNextHops() []map[NodeID]NodeID {
+	adj := t.adjacency()
+	tables := make([]map[NodeID]NodeID, t.N)
+	for src := 0; src < t.N; src++ {
+		dist := make([]int, t.N)
+		first := make([]NodeID, t.N) // first hop from src toward index
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		first[src] = NodeID(src)
+		queue := []NodeID{NodeID(src)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] != -1 {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				if u == NodeID(src) {
+					first[v] = v
+				} else {
+					first[v] = first[u]
+				}
+				queue = append(queue, v)
+			}
+		}
+		table := make(map[NodeID]NodeID)
+		for dst := 0; dst < t.N; dst++ {
+			if dst == src {
+				continue
+			}
+			if dist[dst] == -1 {
+				panic(fmt.Sprintf("fabric: topology %s is disconnected (no path %d->%d)", t.Name, src, dst))
+			}
+			table[NodeID(dst)] = first[dst]
+		}
+		tables[src] = table
+	}
+	return tables
+}
+
+// HopCount reports the shortest-path hop count between a and b.
+func (t Topology) HopCount(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	adj := t.adjacency()
+	dist := make([]int, t.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	queue := []NodeID{a}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist[b]
+}

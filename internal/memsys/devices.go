@@ -1,0 +1,108 @@
+package memsys
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// LocalDisk is node-local storage (the prototype swaps to SD-class
+// flash). Each page op pays seek/command latency plus transfer time.
+type LocalDisk struct {
+	P *sim.Params
+}
+
+// pageTime is the per-page transfer cost at the device's bandwidth.
+func (d *LocalDisk) pageTime() sim.Dur {
+	secs := float64(d.P.PageBytes) / (d.P.LocalDiskMBps * 1e6)
+	return sim.DurFromSeconds(secs)
+}
+
+// ReadPage blocks for one page read.
+func (d *LocalDisk) ReadPage(p *sim.Proc, _ uint64) {
+	p.Sleep(d.P.LocalDiskLat + d.pageTime())
+}
+
+// ReadPages amortizes the seek/command latency over a sequential batch.
+func (d *LocalDisk) ReadPages(p *sim.Proc, _ uint64, n int) {
+	p.Sleep(d.P.LocalDiskLat + sim.Dur(n)*d.pageTime())
+}
+
+// WritePage blocks for one page write.
+func (d *LocalDisk) WritePage(p *sim.Proc, _ uint64) {
+	p.Sleep(d.P.LocalDiskLat + d.pageTime())
+}
+
+// Name identifies the device.
+func (d *LocalDisk) Name() string { return "localdisk" }
+
+// RemoteSwap is the paper's high-performance virtual block device backed
+// by donor memory over the RDMA channel (§5.2.1). The driver uses double
+// buffering to overlap descriptor preparation with DMA, so the effective
+// per-page software cost is one descriptor, not two.
+type RemoteSwap struct {
+	P     *sim.Params
+	RDMA  *transport.RDMA
+	Donor fabric.NodeID
+	Base  uint64 // donor-local base address of the swap area
+
+	// Pages transferred, for accounting.
+	PagesIn  int64
+	PagesOut int64
+}
+
+// ReadPage DMAs one page from donor memory.
+func (d *RemoteSwap) ReadPage(p *sim.Proc, page uint64) {
+	d.PagesIn++
+	d.RDMA.Read(p, d.Donor, d.Base+page*uint64(d.P.PageBytes), d.P.PageBytes)
+}
+
+// ReadPages DMAs a sequential batch in a single descriptor.
+func (d *RemoteSwap) ReadPages(p *sim.Proc, page uint64, n int) {
+	d.PagesIn += int64(n)
+	d.RDMA.Read(p, d.Donor, d.Base+page*uint64(d.P.PageBytes), n*d.P.PageBytes)
+}
+
+// WritePage DMAs one page to donor memory.
+func (d *RemoteSwap) WritePage(p *sim.Proc, page uint64) {
+	d.PagesOut++
+	d.RDMA.Write(p, d.Donor, d.Base+page*uint64(d.P.PageBytes), d.P.PageBytes)
+}
+
+// Name identifies the device.
+func (d *RemoteSwap) Name() string { return "remoteswap:" + d.Donor.String() }
+
+// FixedLatencyDevice is a generic block device defined by a one-way
+// request latency and a bandwidth, used to model commodity-interconnect
+// swap targets (Fig. 3) without simulating their full stacks.
+type FixedLatencyDevice struct {
+	DevName   string
+	P         *sim.Params
+	Latency   sim.Dur // full software+protocol round trip, excluding data
+	MBps      float64 // sustained data bandwidth
+	ReadOnly  sim.Dur // extra read-side cost
+	WriteOnly sim.Dur // extra write-side cost
+}
+
+func (d *FixedLatencyDevice) pageTime() sim.Dur {
+	secs := float64(d.P.PageBytes) / (d.MBps * 1e6)
+	return sim.DurFromSeconds(secs)
+}
+
+// ReadPage blocks for one page read.
+func (d *FixedLatencyDevice) ReadPage(p *sim.Proc, _ uint64) {
+	p.Sleep(d.Latency + d.ReadOnly + d.pageTime())
+}
+
+// ReadPages amortizes the protocol round trip over a sequential batch.
+func (d *FixedLatencyDevice) ReadPages(p *sim.Proc, _ uint64, n int) {
+	p.Sleep(d.Latency + d.ReadOnly + sim.Dur(n)*d.pageTime())
+}
+
+// WritePage blocks for one page write.
+func (d *FixedLatencyDevice) WritePage(p *sim.Proc, _ uint64) {
+	p.Sleep(d.Latency + d.WriteOnly + d.pageTime())
+}
+
+// Name identifies the device.
+func (d *FixedLatencyDevice) Name() string { return d.DevName }

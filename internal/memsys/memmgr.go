@@ -1,0 +1,95 @@
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MemManager is the OS-level view of one node's physical memory: how much
+// exists, how much applications hold, and which regions have been
+// hot-removed for donation to other nodes (§5.2.1, Fig. 10).
+type MemManager struct {
+	P     *sim.Params
+	Total uint64
+
+	used    uint64
+	removed []removedRegion
+	nextTop uint64 // hot-removals carve from the top of physical memory
+}
+
+type removedRegion struct {
+	base uint64
+	size uint64
+}
+
+// NewMemManager tracks a node with total bytes of physical memory.
+func NewMemManager(p *sim.Params, total uint64) *MemManager {
+	return &MemManager{P: p, Total: total, nextTop: total}
+}
+
+// Used reports bytes held by applications.
+func (m *MemManager) Used() uint64 { return m.used }
+
+// Removed reports bytes hot-removed for donation.
+func (m *MemManager) Removed() uint64 {
+	var sum uint64
+	for _, r := range m.removed {
+		sum += r.size
+	}
+	return sum
+}
+
+// Idle reports bytes available locally: total minus used minus donated.
+func (m *MemManager) Idle() uint64 { return m.Total - m.used - m.Removed() }
+
+// Reserve allocates application memory.
+func (m *MemManager) Reserve(size uint64) error {
+	if size > m.Idle() {
+		return fmt.Errorf("memsys: reserve %d exceeds idle %d", size, m.Idle())
+	}
+	m.used += size
+	return nil
+}
+
+// Release frees application memory.
+func (m *MemManager) Release(size uint64) {
+	if size > m.used {
+		panic("memsys: releasing more than used")
+	}
+	m.used -= size
+}
+
+// HotRemove takes size bytes out of the local OS's view so they can be
+// donated, blocking the process for the hot-plug operation, and returns
+// the donor-local physical base of the removed region.
+func (m *MemManager) HotRemove(p *sim.Proc, size uint64) (uint64, error) {
+	if size == 0 || size%uint64(m.P.PageBytes) != 0 {
+		return 0, fmt.Errorf("memsys: hot-remove size %d not page-aligned", size)
+	}
+	if size > m.Idle() {
+		return 0, fmt.Errorf("memsys: hot-remove %d exceeds idle %d", size, m.Idle())
+	}
+	p.Sleep(m.P.HotplugOp)
+	m.nextTop -= size
+	base := m.nextTop
+	m.removed = append(m.removed, removedRegion{base: base, size: size})
+	return base, nil
+}
+
+// HotAddReturn returns a previously hot-removed region to the local OS
+// (the stop-sharing path). The region must match a removal exactly.
+func (m *MemManager) HotAddReturn(p *sim.Proc, base, size uint64) error {
+	for i, r := range m.removed {
+		if r.base == base && r.size == size {
+			p.Sleep(m.P.HotplugOp)
+			m.removed = append(m.removed[:i], m.removed[i+1:]...)
+			// Freed regions at the top merge back trivially in this model.
+			if base == m.nextTop {
+				m.nextTop += size
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("memsys: no removed region [%#x,+%#x) to return", base, size)
+}

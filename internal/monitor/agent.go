@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Agent is the per-node daemon: it periodically reports idle resources
+// and link health to the MN (serving as the MN's heartbeat), and it
+// services the donor side of memory sharing — hot-remove, CRMA export,
+// and the reverse on release (Fig. 2).
+type Agent struct {
+	EP     *transport.Endpoint
+	MemMgr *memsys.MemManager
+	Net    *fabric.Network
+
+	// Devices advertises shareable device units (accelerators, NICs).
+	Devices map[DeviceKind]int
+
+	// Interval is the heartbeat period.
+	Interval sim.Dur
+
+	mn      fabric.NodeID
+	stopped bool
+
+	exports map[string]*transport.RAMTEntry // donor-side export bookkeeping
+
+	// Stats counts agent activity.
+	Stats sim.Scoreboard
+}
+
+// NewAgent attaches an agent to a node's endpoint and memory manager.
+func NewAgent(ep *transport.Endpoint, mm *memsys.MemManager, net *fabric.Network) *Agent {
+	a := &Agent{
+		EP:       ep,
+		MemMgr:   mm,
+		Net:      net,
+		Devices:  make(map[DeviceKind]int),
+		Interval: 500 * sim.Millisecond,
+		exports:  make(map[string]*transport.RAMTEntry),
+	}
+	ep.HandleCall(kindHotRemove, a.onHotRemove)
+	ep.HandleCall(kindHotReturn, a.onHotReturn)
+	return a
+}
+
+// Start begins heartbeating to the MN at mnID. Each node's phase is
+// staggered by its id so reports do not stampede the MN.
+func (a *Agent) Start(mnID fabric.NodeID) {
+	a.mn = mnID
+	a.EP.Eng.Go(fmt.Sprintf("agent@%v", a.EP.ID), func(p *sim.Proc) {
+		p.Sleep(sim.Dur(int64(a.EP.ID)+1) * sim.Millisecond)
+		for !a.stopped {
+			a.beat(p)
+			p.Sleep(a.Interval)
+		}
+	})
+}
+
+// Stop ends the heartbeat loop after the current period.
+func (a *Agent) Stop() { a.stopped = true }
+
+// beat sends one heartbeat: idle memory, device counts, link probes.
+func (a *Agent) beat(p *sim.Proc) {
+	devs := make(map[DeviceKind]int, len(a.Devices))
+	for k, v := range a.Devices {
+		devs[k] = v
+	}
+	hb := &Heartbeat{
+		Node:      a.EP.ID,
+		IdleBytes: a.MemMgr.Idle(),
+		Devices:   devs,
+		Links:     a.probeLinks(),
+	}
+	a.EP.Call(p, a.mn, kindHeartbeat, 64, hb)
+	a.Stats.Add("beats", 1)
+}
+
+// probeLinks tests this node's fabric ports (the daemon "tests and
+// reports the status of the Venice fabric links on every heartbeat").
+func (a *Agent) probeLinks() []LinkProbe {
+	var probes []LinkProbe
+	for _, nb := range a.Net.Topo.NeighborsOf(a.EP.ID) {
+		up := true
+		if l := a.Net.Link(a.EP.ID, nb); l != nil && l.Down() {
+			up = false
+		}
+		if l := a.Net.Link(nb, a.EP.ID); l != nil && l.Down() {
+			up = false
+		}
+		probes = append(probes, LinkProbe{Peer: nb, Up: up})
+	}
+	return probes
+}
+
+// exportKey identifies a donor-side export for later teardown.
+func exportKey(recipient fabric.NodeID, recipientBase uint64) string {
+	return fmt.Sprintf("%v:%#x", recipient, recipientBase)
+}
+
+// onHotRemove services the MN's donation request: hot-remove the region
+// from the local OS and export it over CRMA for the recipient.
+func (a *Agent) onHotRemove(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
+	r := req.(*hotRemoveReq)
+	if a.MemMgr.Idle() < r.Size {
+		a.Stats.Add("hotremove.declined", 1)
+		return &hotRemoveResp{OK: false, Err: "insufficient idle memory"}, 32
+	}
+	base, err := a.MemMgr.HotRemove(p, r.Size)
+	if err != nil {
+		a.Stats.Add("hotremove.declined", 1)
+		return &hotRemoveResp{OK: false, Err: err.Error()}, 32
+	}
+	e := a.EP.CRMA.Export(r.Recipient, r.RecipientBase, r.Size, base)
+	a.exports[exportKey(r.Recipient, r.RecipientBase)] = e
+	a.Stats.Add("hotremove.ok", 1)
+	return &hotRemoveResp{OK: true, Base: base}, 32
+}
+
+// onHotReturn tears down a donation: invalidate the export and hot-add
+// the region back into the local OS.
+func (a *Agent) onHotReturn(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
+	r := req.(*hotReturnReq)
+	key := exportKey(r.Recipient, r.RecipientBase)
+	if e, ok := a.exports[key]; ok {
+		a.EP.CRMA.Unmap(e)
+		delete(a.exports, key)
+	} else {
+		// The recipient base is not always known on free (the MN's RAT
+		// does not store it); fall back to scanning for the recipient.
+		a.EP.CRMA.UnexportAll(r.Recipient)
+	}
+	if err := a.MemMgr.HotAddReturn(p, r.Base, r.Size); err != nil {
+		a.Stats.Add("hotreturn.failed", 1)
+		return &ack{}, 8
+	}
+	a.Stats.Add("hotreturn.ok", 1)
+	return &ack{}, 8
+}

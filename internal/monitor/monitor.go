@@ -1,0 +1,265 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Registration is one node's row in the Resource Registration Table.
+type Registration struct {
+	Node      fabric.NodeID
+	IdleBytes uint64
+	Devices   map[DeviceKind]int
+	LastBeat  sim.Time
+	Beats     int64
+}
+
+// Allocation is one row of the Resource Allocation Table.
+type Allocation struct {
+	ID            int
+	Kind          string     // "memory" or a DeviceKind name
+	Dev           DeviceKind // valid when Kind is a device
+	Donor         fabric.NodeID
+	Recipient     fabric.NodeID
+	DonorBase     uint64
+	RecipientBase uint64
+	Size          uint64
+	At            sim.Time
+}
+
+// LinkStatus is one row of the Topology Status Table.
+type LinkStatus struct {
+	A, B     fabric.NodeID
+	Up       bool
+	LastSeen sim.Time
+}
+
+// Monitor is the Monitor Node runtime. One instance runs on a designated
+// node's endpoint. (The paper notes the MN should be replicated to avoid
+// a single point of failure but, like the prototype, we run one.)
+type Monitor struct {
+	EP   *transport.Endpoint
+	Topo fabric.Topology
+
+	rrt map[fabric.NodeID]*Registration
+	rat map[int]*Allocation
+	tst map[[2]fabric.NodeID]*LinkStatus
+
+	nextAllocID int
+
+	// Policy orders donor candidates; nil means the prototype's
+	// distance-first policy.
+	Policy Policy
+
+	// HeartbeatTimeout marks a node dead when its reports stop.
+	HeartbeatTimeout sim.Dur
+
+	// Stats counts runtime activity, including allocation retries caused
+	// by stale RRT records (§5.3's handshake-and-retry).
+	Stats sim.Scoreboard
+}
+
+// New starts a Monitor on the given endpoint.
+func New(ep *transport.Endpoint, topo fabric.Topology) *Monitor {
+	m := &Monitor{
+		EP:               ep,
+		Topo:             topo,
+		rrt:              make(map[fabric.NodeID]*Registration),
+		rat:              make(map[int]*Allocation),
+		tst:              make(map[[2]fabric.NodeID]*LinkStatus),
+		HeartbeatTimeout: 3 * sim.Second,
+	}
+	ep.HandleCall(kindHeartbeat, m.onHeartbeat)
+	ep.HandleCall(kindAllocMem, m.onAllocMem)
+	ep.HandleCall(kindFreeMem, m.onFreeMem)
+	ep.HandleCall(kindAllocDev, m.onAllocDev)
+	ep.HandleCall(kindFreeDev, m.onFreeDev)
+	return m
+}
+
+// Node reports the MN's node id.
+func (m *Monitor) Node() fabric.NodeID { return m.EP.ID }
+
+// Registered reports a copy of a node's RRT row.
+func (m *Monitor) Registered(id fabric.NodeID) (Registration, bool) {
+	r, ok := m.rrt[id]
+	if !ok {
+		return Registration{}, false
+	}
+	return *r, true
+}
+
+// Allocations returns the live RAT rows, ordered by id.
+func (m *Monitor) Allocations() []Allocation {
+	ids := make([]int, 0, len(m.rat))
+	for id := range m.rat {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Allocation, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *m.rat[id])
+	}
+	return out
+}
+
+// LinkUp reports the TST state of link a<->b (true when never reported).
+func (m *Monitor) LinkUp(a, b fabric.NodeID) bool {
+	if s, ok := m.tst[linkKey(a, b)]; ok {
+		return s.Up
+	}
+	return true
+}
+
+// NodeAlive reports whether heartbeats from id are recent.
+func (m *Monitor) NodeAlive(id fabric.NodeID) bool {
+	r, ok := m.rrt[id]
+	if !ok {
+		return false
+	}
+	return m.EP.Eng.Now().Sub(r.LastBeat) <= m.HeartbeatTimeout
+}
+
+func linkKey(a, b fabric.NodeID) [2]fabric.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]fabric.NodeID{a, b}
+}
+
+// onHeartbeat folds an agent report into the RRT and TST.
+func (m *Monitor) onHeartbeat(_ *sim.Proc, from fabric.NodeID, req any) (any, int) {
+	hb := req.(*Heartbeat)
+	r, ok := m.rrt[hb.Node]
+	if !ok {
+		r = &Registration{Node: hb.Node}
+		m.rrt[hb.Node] = r
+	}
+	r.IdleBytes = hb.IdleBytes
+	r.Devices = hb.Devices
+	r.LastBeat = m.EP.Eng.Now()
+	r.Beats++
+	for _, lp := range hb.Links {
+		key := linkKey(hb.Node, lp.Peer)
+		s, ok := m.tst[key]
+		if !ok {
+			s = &LinkStatus{A: key[0], B: key[1]}
+			m.tst[key] = s
+		}
+		s.Up = lp.Up
+		s.LastSeen = m.EP.Eng.Now()
+	}
+	_ = from
+	m.Stats.Add("heartbeats", 1)
+	return &ack{}, 8
+}
+
+// donorCandidates collects live donors and orders them with the active
+// policy (the prototype default considers only distance, §5.3).
+func (m *Monitor) donorCandidates(requester fabric.NodeID) []*Registration {
+	var cands []*Registration
+	for _, r := range m.rrt {
+		if r.Node == requester || !m.NodeAlive(r.Node) {
+			continue
+		}
+		cands = append(cands, r)
+	}
+	pol := m.Policy
+	if pol == nil {
+		pol = DistanceFirst{}
+	}
+	pol.Order(m, requester, cands)
+	return cands
+}
+
+// onAllocMem finds a donor, asks its agent to hot-remove and export the
+// region, and records the allocation. RRT records can be stale: a donor
+// may decline, in which case the MN retries the next candidate
+// (handshake-and-retry, §5.3).
+func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
+	r := req.(*AllocMemReq)
+	for _, cand := range m.donorCandidates(from) {
+		if cand.IdleBytes < r.Size {
+			continue
+		}
+		hr := &hotRemoveReq{Size: r.Size, Recipient: from, RecipientBase: r.WindowBase}
+		resp := m.EP.Call(p, cand.Node, kindHotRemove, 64, hr).(*hotRemoveResp)
+		if !resp.OK {
+			// Stale RRT record; mark what we learned and retry.
+			m.Stats.Add("alloc.retries", 1)
+			cand.IdleBytes = 0
+			continue
+		}
+		id := m.nextAllocID
+		m.nextAllocID++
+		m.rat[id] = &Allocation{
+			ID: id, Kind: "memory", Donor: cand.Node, Recipient: from,
+			DonorBase: resp.Base, RecipientBase: r.WindowBase,
+			Size: r.Size, At: m.EP.Eng.Now(),
+		}
+		cand.IdleBytes -= r.Size
+		m.Stats.Add("alloc.memory", 1)
+		return &AllocMemResp{OK: true, AllocID: id, Donor: cand.Node, DonorBase: resp.Base}, 64
+	}
+	m.Stats.Add("alloc.failures", 1)
+	return &AllocMemResp{OK: false, Err: fmt.Sprintf("no donor with %d idle bytes", r.Size)}, 64
+}
+
+// onFreeMem tears an allocation down, returning the region to its donor.
+func (m *Monitor) onFreeMem(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
+	f := req.(*FreeMemReq)
+	a, ok := m.rat[f.AllocID]
+	if !ok || a.Recipient != from {
+		return &ack{}, 8
+	}
+	delete(m.rat, f.AllocID)
+	m.EP.Call(p, a.Donor, kindHotReturn, 64, &hotReturnReq{
+		Recipient: a.Recipient, RecipientBase: a.RecipientBase,
+		Base: a.DonorBase, Size: a.Size,
+	})
+	if r, ok := m.rrt[a.Donor]; ok {
+		r.IdleBytes += a.Size
+	}
+	m.Stats.Add("free.memory", 1)
+	return &ack{}, 8
+}
+
+// onAllocDev grants a device unit on the nearest donor advertising one.
+func (m *Monitor) onAllocDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int) {
+	r := req.(*AllocDevReq)
+	for _, cand := range m.donorCandidates(from) {
+		if cand.Devices[r.Kind] <= 0 {
+			continue
+		}
+		cand.Devices[r.Kind]--
+		id := m.nextAllocID
+		m.nextAllocID++
+		m.rat[id] = &Allocation{
+			ID: id, Kind: r.Kind.String(), Dev: r.Kind, Donor: cand.Node,
+			Recipient: from, Size: 1, At: m.EP.Eng.Now(),
+		}
+		m.Stats.Add("alloc."+r.Kind.String(), 1)
+		return &AllocDevResp{OK: true, AllocID: id, Donor: cand.Node}, 32
+	}
+	m.Stats.Add("alloc.failures", 1)
+	return &AllocDevResp{OK: false, Err: "no " + r.Kind.String() + " available"}, 32
+}
+
+// onFreeDev returns a device unit to its donor's RRT row.
+func (m *Monitor) onFreeDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int) {
+	f := req.(*FreeDevReq)
+	a, ok := m.rat[f.AllocID]
+	if !ok || a.Recipient != from {
+		return &ack{}, 8
+	}
+	delete(m.rat, f.AllocID)
+	if r, ok := m.rrt[a.Donor]; ok && r.Devices != nil {
+		r.Devices[a.Dev]++
+	}
+	m.Stats.Add("free.device", 1)
+	return &ack{}, 8
+}

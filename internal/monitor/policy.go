@@ -1,0 +1,92 @@
+package monitor
+
+import (
+	"sort"
+
+	"repro/internal/fabric"
+)
+
+// Policy orders donor candidates for an allocation request. The paper's
+// prototype considers only distance (§5.3) but names distance, topology,
+// and traffic as the factors an intelligent runtime must weigh (§8);
+// the additional policies explore that design space.
+type Policy interface {
+	Name() string
+	// Order sorts candidates in place, best donor first.
+	Order(m *Monitor, requester fabric.NodeID, cands []*Registration)
+}
+
+// DistanceFirst is the prototype's policy: nearest donor wins, idle
+// memory breaks ties, node id keeps it deterministic.
+type DistanceFirst struct{}
+
+// Name identifies the policy.
+func (DistanceFirst) Name() string { return "distance" }
+
+// Order implements Policy.
+func (DistanceFirst) Order(m *Monitor, requester fabric.NodeID, cands []*Registration) {
+	sort.Slice(cands, func(i, j int) bool {
+		di := m.Topo.HopCount(requester, cands[i].Node)
+		dj := m.Topo.HopCount(requester, cands[j].Node)
+		if di != dj {
+			return di < dj
+		}
+		if cands[i].IdleBytes != cands[j].IdleBytes {
+			return cands[i].IdleBytes > cands[j].IdleBytes
+		}
+		return cands[i].Node < cands[j].Node
+	})
+}
+
+// MostIdle ignores distance and picks the donor with the most spare
+// memory — a capacity-balancing policy.
+type MostIdle struct{}
+
+// Name identifies the policy.
+func (MostIdle) Name() string { return "most-idle" }
+
+// Order implements Policy.
+func (MostIdle) Order(m *Monitor, _ fabric.NodeID, cands []*Registration) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].IdleBytes != cands[j].IdleBytes {
+			return cands[i].IdleBytes > cands[j].IdleBytes
+		}
+		return cands[i].Node < cands[j].Node
+	})
+}
+
+// TrafficAware prefers near donors but skips past donors whose links are
+// already carrying allocations, approximating "existing traffic over
+// involved links" with the number of live allocations the donor serves.
+type TrafficAware struct {
+	// PenaltyHops is how many extra hops one live allocation is worth.
+	PenaltyHops int
+}
+
+// Name identifies the policy.
+func (TrafficAware) Name() string { return "traffic-aware" }
+
+// Order implements Policy.
+func (t TrafficAware) Order(m *Monitor, requester fabric.NodeID, cands []*Registration) {
+	penalty := t.PenaltyHops
+	if penalty == 0 {
+		penalty = 1
+	}
+	load := make(map[fabric.NodeID]int)
+	for _, a := range m.rat {
+		load[a.Donor]++
+	}
+	score := func(r *Registration) int {
+		return m.Topo.HopCount(requester, r.Node) + penalty*load[r.Node]
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		si, sj := score(cands[i]), score(cands[j])
+		if si != sj {
+			return si < sj
+		}
+		if cands[i].IdleBytes != cands[j].IdleBytes {
+			return cands[i].IdleBytes > cands[j].IdleBytes
+		}
+		return cands[i].Node < cands[j].Node
+	})
+}

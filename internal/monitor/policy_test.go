@@ -1,0 +1,103 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func TestMostIdlePolicyPicksLargestDonor(t *testing.T) {
+	c := newCluster(t, 1<<30)
+	c.mn.Policy = MostIdle{}
+	c.eng.RunFor(1 * sim.Second)
+	// Consume memory everywhere except node 2 (far from requester 7).
+	for i := 1; i < 8; i++ {
+		if i == 2 || i == 7 {
+			continue
+		}
+		if err := c.nodes[i].MemMgr.Reserve(1 << 29); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.eng.RunFor(1 * sim.Second) // refresh RRT
+	recipient := c.nodes[7]
+	var resp *AllocMemResp
+	recipient.Run("alloc", func(p *sim.Proc) {
+		win := recipient.NextHotplugWindow(1 << 20)
+		resp = recipient.EP.Call(p, 0, kindAllocMem, 64,
+			&AllocMemReq{Size: 1 << 20, WindowBase: win}).(*AllocMemResp)
+	})
+	c.eng.RunFor(5 * sim.Second)
+	if resp == nil || !resp.OK {
+		t.Fatalf("alloc failed: %+v", resp)
+	}
+	// Node 2 (and node 0, the MN, which also has full memory) are the
+	// most idle; distance-first would have picked a neighbor of 7.
+	if resp.Donor != 2 && resp.Donor != 0 {
+		t.Fatalf("most-idle policy chose %v, want the emptiest node", resp.Donor)
+	}
+}
+
+func TestTrafficAwarePolicySpreadsDonors(t *testing.T) {
+	c := newCluster(t, 1<<30)
+	c.mn.Policy = TrafficAware{PenaltyHops: 10} // strong spreading
+	c.eng.RunFor(1 * sim.Second)
+	recipient := c.nodes[7]
+	donors := make(map[fabric.NodeID]int)
+	recipient.Run("allocs", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			win := recipient.NextHotplugWindow(64 << 20)
+			resp := recipient.EP.Call(p, 0, kindAllocMem, 64,
+				&AllocMemReq{Size: 64 << 20, WindowBase: win}).(*AllocMemResp)
+			if !resp.OK {
+				t.Errorf("alloc %d failed: %s", i, resp.Err)
+				return
+			}
+			donors[resp.Donor]++
+		}
+	})
+	c.eng.RunFor(20 * sim.Second)
+	if len(donors) < 3 {
+		t.Fatalf("traffic-aware policy reused donors: %v (want 3 distinct)", donors)
+	}
+}
+
+func TestDistanceFirstReusesNearestDonor(t *testing.T) {
+	c := newCluster(t, 1<<30)
+	c.eng.RunFor(1 * sim.Second)
+	recipient := c.nodes[7]
+	donors := make(map[fabric.NodeID]int)
+	recipient.Run("allocs", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			win := recipient.NextHotplugWindow(64 << 20)
+			resp := recipient.EP.Call(p, 0, kindAllocMem, 64,
+				&AllocMemReq{Size: 64 << 20, WindowBase: win}).(*AllocMemResp)
+			if !resp.OK {
+				t.Errorf("alloc %d failed: %s", i, resp.Err)
+				return
+			}
+			donors[resp.Donor]++
+		}
+	})
+	c.eng.RunFor(20 * sim.Second)
+	// Distance-first never leaves the requester's immediate neighborhood
+	// while neighbors have idle memory (equidistant ties rotate by idle).
+	if len(donors) == 0 {
+		t.Fatal("no allocations made")
+	}
+	for d := range donors {
+		if hop := c.net.HopCount(7, d); hop != 1 {
+			t.Fatalf("donor %v is %d hops away; distance-first must stay at hop 1", d, hop)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	var df DistanceFirst
+	var mi MostIdle
+	var ta TrafficAware
+	if df.Name() != "distance" || mi.Name() != "most-idle" || ta.Name() != "traffic-aware" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,147 @@
+// Package monitor implements Venice's resource-management runtime
+// (§5.3): the Monitor Node with its three tables — the Resource
+// Registration Table (RRT) of available resources, the Resource
+// Allocation Table (RAT) of live allocations, and the Topology Status
+// Table (TST) of fabric link health — plus the per-node agent daemon
+// that heartbeats availability and services hot-remove requests.
+package monitor
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// RPC kinds exchanged between agents and the Monitor Node.
+const (
+	kindHeartbeat = "mn.heartbeat"
+	kindAllocMem  = "mn.allocmem"
+	kindFreeMem   = "mn.freemem"
+	kindAllocDev  = "mn.allocdev"
+	kindFreeDev   = "mn.freedev"
+
+	kindHotRemove = "agent.hotremove"
+	kindHotReturn = "agent.hotreturn"
+)
+
+// DeviceKind distinguishes shareable device classes in the RRT.
+type DeviceKind int
+
+// Shareable device classes (§5.2).
+const (
+	DevAccelerator DeviceKind = iota
+	DevNIC
+)
+
+// String names the device kind.
+func (k DeviceKind) String() string {
+	switch k {
+	case DevAccelerator:
+		return "accelerator"
+	case DevNIC:
+		return "nic"
+	default:
+		return "unknown"
+	}
+}
+
+// LinkProbe is one link's health as observed by an agent.
+type LinkProbe struct {
+	Peer fabric.NodeID
+	Up   bool
+}
+
+// Heartbeat is the periodic agent report that feeds the RRT and TST.
+type Heartbeat struct {
+	Node      fabric.NodeID
+	IdleBytes uint64
+	Devices   map[DeviceKind]int
+	Links     []LinkProbe
+}
+
+// AllocMemReq asks the MN for remote memory. The requester pre-selects
+// the local address window the borrowed region will be hot-plugged at,
+// so the donor can install the matching translation.
+type AllocMemReq struct {
+	Size       uint64
+	WindowBase uint64
+}
+
+// AllocMemResp answers an AllocMemReq.
+type AllocMemResp struct {
+	OK        bool
+	Err       string
+	AllocID   int
+	Donor     fabric.NodeID
+	DonorBase uint64
+}
+
+// FreeMemReq releases a previous allocation.
+type FreeMemReq struct {
+	AllocID int
+}
+
+// AllocDevReq asks the MN for a remote device of a kind.
+type AllocDevReq struct {
+	Kind DeviceKind
+}
+
+// AllocDevResp answers an AllocDevReq.
+type AllocDevResp struct {
+	OK      bool
+	Err     string
+	AllocID int
+	Donor   fabric.NodeID
+}
+
+// FreeDevReq releases a device allocation.
+type FreeDevReq struct {
+	AllocID int
+}
+
+// RequestMemory is the client-side call a node's kernel memory manager
+// makes when it needs more memory than is locally available (step 2 of
+// Fig. 2).
+func RequestMemory(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64) *AllocMemResp {
+	return ep.Call(p, mn, kindAllocMem, 64, &AllocMemReq{Size: size, WindowBase: windowBase}).(*AllocMemResp)
+}
+
+// FreeMemory releases a memory allocation by id.
+func FreeMemory(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, allocID int) {
+	ep.Call(p, mn, kindFreeMem, 16, &FreeMemReq{AllocID: allocID})
+}
+
+// RequestDevice asks the MN for a remote device unit.
+func RequestDevice(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind) *AllocDevResp {
+	return ep.Call(p, mn, kindAllocDev, 16, &AllocDevReq{Kind: kind}).(*AllocDevResp)
+}
+
+// FreeDevice releases a device allocation by id.
+func FreeDevice(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, allocID int) {
+	ep.Call(p, mn, kindFreeDev, 16, &FreeDevReq{AllocID: allocID})
+}
+
+// hotRemoveReq is the MN->donor-agent request to donate memory.
+type hotRemoveReq struct {
+	Size          uint64
+	Recipient     fabric.NodeID
+	RecipientBase uint64
+}
+
+// hotRemoveResp is the donor agent's answer.
+type hotRemoveResp struct {
+	OK   bool
+	Err  string
+	Base uint64
+}
+
+// hotReturnReq is the MN->donor-agent request to take memory back.
+type hotReturnReq struct {
+	Recipient     fabric.NodeID
+	RecipientBase uint64
+	Base          uint64
+	Size          uint64
+}
+
+// ack is an empty RPC response.
+type ack struct{}

@@ -1,0 +1,145 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+func TestNodeConstruction(t *testing.T) {
+	eng := sim.New()
+	defer eng.Close()
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Pair(), sim.NewRNG(1))
+	n := New(eng, &p, net, 0, 1<<30)
+	New(eng, &p, net, 1, 1<<30)
+
+	if n.String() != "n0" {
+		t.Fatalf("String = %q", n.String())
+	}
+	// Local memory is mapped from zero.
+	if _, ok := n.Mem.AS.Lookup(0); !ok {
+		t.Fatal("local DRAM not mapped at 0")
+	}
+	if _, ok := n.Mem.AS.Lookup(1 << 30); ok {
+		t.Fatal("address above DRAM mapped")
+	}
+	if n.MemMgr.Idle() != 1<<30 {
+		t.Fatalf("idle = %d", n.MemMgr.Idle())
+	}
+}
+
+func TestNodeHotplugWindowsDoNotOverlap(t *testing.T) {
+	eng := sim.New()
+	defer eng.Close()
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Pair(), sim.NewRNG(1))
+	n := New(eng, &p, net, 0, 1<<30)
+	New(eng, &p, net, 1, 1<<30)
+
+	a := n.NextHotplugWindow(1 << 28)
+	b := n.NextHotplugWindow(1 << 28)
+	if a < 1<<30 {
+		t.Fatalf("window %#x overlaps local DRAM", a)
+	}
+	if b < a+1<<28 {
+		t.Fatalf("windows overlap: %#x then %#x", a, b)
+	}
+}
+
+func TestNodeRunExecutesOnEngine(t *testing.T) {
+	eng := sim.New()
+	defer eng.Close()
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Pair(), sim.NewRNG(1))
+	n := New(eng, &p, net, 0, 1<<30)
+	New(eng, &p, net, 1, 1<<30)
+
+	var ranAt sim.Time
+	done := n.Run("workload", func(pr *sim.Proc) {
+		pr.Sleep(42 * sim.Microsecond)
+		ranAt = pr.Now()
+	})
+	eng.Run()
+	if !done.Done() || ranAt != sim.Time(42*sim.Microsecond) {
+		t.Fatalf("workload did not run to completion: at %v", ranAt)
+	}
+}
+
+func TestNodeLocalMemoryTiming(t *testing.T) {
+	eng := sim.New()
+	defer eng.Close()
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Pair(), sim.NewRNG(1))
+	n := New(eng, &p, net, 0, 1<<30)
+	New(eng, &p, net, 1, 1<<30)
+
+	var elapsed sim.Dur
+	n.Run("touch", func(pr *sim.Proc) {
+		t0 := pr.Now()
+		n.Mem.Read(pr, 0x100, 8)
+		n.Mem.Flush(pr)
+		elapsed = pr.Now().Sub(t0)
+	})
+	eng.Run()
+	if elapsed != p.CacheHit+p.DRAMLat {
+		t.Fatalf("local miss = %v, want %v", elapsed, p.CacheHit+p.DRAMLat)
+	}
+}
+
+func TestNodeMemServiceAdapter(t *testing.T) {
+	p := sim.Default()
+	svc := memAdapter{&p}
+	if svc.Service(0, 64, false) != p.DRAMLat {
+		t.Fatal("single-line service should cost one DRAM access")
+	}
+	if svc.Service(0, 4096, false) <= p.DRAMLat {
+		t.Fatal("page-sized service should cost more than one access")
+	}
+}
+
+func TestNodeBorrowedRegionEndToEnd(t *testing.T) {
+	// Manual two-node wiring of a borrowed region: donor exports, the
+	// recipient maps and mounts a CRMA-backed region; reads work and cost
+	// remote latency.
+	eng := sim.New()
+	defer eng.Close()
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Pair(), sim.NewRNG(1))
+	recip := New(eng, &p, net, 0, 1<<30)
+	donor := New(eng, &p, net, 1, 1<<30)
+
+	const size = 1 << 26
+	win := recip.NextHotplugWindow(size)
+	var elapsed sim.Dur
+	recip.Run("borrow", func(pr *sim.Proc) {
+		donorBase, err := donor.MemMgr.HotRemove(pr, size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		donor.EP.CRMA.Export(0, win, size, donorBase)
+		if _, err := recip.EP.CRMA.Map(win, size, 1, donorBase); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := recip.Mem.AS.Add(&memsys.Region{Base: win, Size: size,
+			Backend: &memsys.CRMARemote{CRMA: recip.EP.CRMA, Donor: 1}}); err != nil {
+			t.Error(err)
+			return
+		}
+		t0 := pr.Now()
+		recip.Mem.Read(pr, win+0x1000, 8)
+		recip.Mem.Flush(pr)
+		elapsed = pr.Now().Sub(t0)
+	})
+	eng.Run()
+	if elapsed < 2*sim.Microsecond {
+		t.Fatalf("borrowed-memory read = %v, want remote-scale latency", elapsed)
+	}
+	if recip.EP.CRMA.Stats.Fills != 1 {
+		t.Fatalf("fills = %d", recip.EP.CRMA.Stats.Fills)
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a callback scheduled at a virtual instant. Events with equal
+// timestamps fire in scheduling order (FIFO), which keeps runs
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct one with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	yield   chan struct{}
+	stopped chan struct{}
+	closed  bool
+	live    int // processes started and not yet finished
+	parked  int // processes currently blocked awaiting a wakeup
+	fired   uint64
+}
+
+// New returns a fresh engine with virtual time zero and an empty queue.
+func New() *Engine {
+	return &Engine{
+		yield:   make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Fired reports the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// LiveProcs reports the number of processes that have started and not yet
+// returned. A nonzero value after Run returns indicates a deadlock in the
+// simulated program.
+func (e *Engine) LiveProcs() int { return e.live }
+
+// At schedules fn to run at the absolute virtual instant t. Scheduling in
+// the past panics: virtual time never rewinds.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Schedule schedules fn to run d after the current instant.
+func (e *Engine) Schedule(d Dur, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step executes the earliest pending event and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains. If simulated processes are
+// still blocked when the queue empties, they stay parked (see LiveProcs);
+// Close releases them.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then sets the clock
+// to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Dur) { e.RunUntil(e.now.Add(d)) }
+
+// Close terminates any parked processes so their goroutines exit. It is
+// safe to call multiple times. After Close the engine must not be used.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.stopped)
+	// Give killed goroutines a chance to observe the close; they need no
+	// baton because park() selects on stopped.
+}
+
+// resume hands the execution baton to process p and blocks until p parks
+// again or finishes. It must only be called from engine context (inside
+// an event callback).
+func (e *Engine) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-e.yield
+}

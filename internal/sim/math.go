@@ -1,0 +1,8 @@
+package sim
+
+import "math"
+
+// Thin indirections over math so rng.go stays readable; they also give
+// tests a single seam should a platform ever misbehave.
+func mathExp(x float64) float64 { return math.Exp(x) }
+func mathLog(x float64) float64 { return math.Log(x) }

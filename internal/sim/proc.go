@@ -1,0 +1,107 @@
+package sim
+
+// Proc is a simulated process: workload code that can block on virtual
+// time (Sleep), on completions, queues and semaphores, while the engine
+// interleaves it deterministically with every other process.
+//
+// A Proc's function runs on its own goroutine, but the engine guarantees
+// that at most one goroutine in the whole simulation executes at a time,
+// so process code may freely touch shared simulation state without locks.
+type Proc struct {
+	Eng  *Engine
+	name string
+	wake chan struct{}
+	dead bool
+}
+
+// procStopped is the panic payload used to unwind a process killed by
+// Engine.Close.
+type procStopped struct{}
+
+// Name reports the name the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports current virtual time; shorthand for p.Eng.Now().
+func (p *Proc) Now() Time { return p.Eng.Now() }
+
+// Go starts a new simulated process running fn. The process begins
+// executing at the current virtual instant, after already-queued events
+// at this instant have run. It returns a Completion that completes when
+// fn returns.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Completion {
+	done := NewCompletion(e)
+	p := &Proc{Eng: e, name: name, wake: make(chan struct{})}
+	e.live++
+	e.Schedule(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procStopped); ok {
+						return // engine shut down; exit silently
+					}
+					panic(r)
+				}
+			}()
+			p.waitBaton()
+			fn(p)
+			p.finish(done)
+		}()
+		e.resume(p)
+	})
+	return done
+}
+
+// waitBaton blocks until the engine hands this process the baton.
+func (p *Proc) waitBaton() {
+	select {
+	case <-p.wake:
+	case <-p.Eng.stopped:
+		panic(procStopped{})
+	}
+}
+
+// park returns the baton to the engine and blocks until resumed. Process
+// code calls this (via Sleep/Await/...) after arranging for a wakeup.
+func (p *Proc) park() {
+	e := p.Eng
+	e.parked++
+	select {
+	case e.yield <- struct{}{}:
+	case <-e.stopped:
+		e.parked--
+		panic(procStopped{})
+	}
+	p.waitBaton()
+	e.parked--
+}
+
+// unparkAfter schedules this process to resume d from now.
+func (p *Proc) unparkAfter(d Dur) {
+	e := p.Eng
+	e.At(e.now.Add(d), func() { e.resume(p) })
+}
+
+// finish marks the process done and returns the baton for the last time.
+func (p *Proc) finish(done *Completion) {
+	e := p.Eng
+	p.dead = true
+	e.live--
+	done.Complete()
+	select {
+	case e.yield <- struct{}{}:
+	case <-e.stopped:
+	}
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d Dur) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.unparkAfter(d)
+	p.park()
+}
+
+// Yield lets every other event and process scheduled at the current
+// instant run before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

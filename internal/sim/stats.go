@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RunningStat accumulates count/mean/variance/min/max in one pass
+// (Welford's algorithm). The zero value is ready to use.
+type RunningStat struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *RunningStat) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddDur records a duration observation in nanoseconds.
+func (s *RunningStat) AddDur(d Dur) { s.Add(float64(d)) }
+
+// N reports the number of observations.
+func (s *RunningStat) N() int64 { return s.n }
+
+// Mean reports the arithmetic mean (0 with no observations).
+func (s *RunningStat) Mean() float64 { return s.mean }
+
+// Min reports the smallest observation (0 with no observations).
+func (s *RunningStat) Min() float64 { return s.min }
+
+// Max reports the largest observation (0 with no observations).
+func (s *RunningStat) Max() float64 { return s.max }
+
+// Sum reports the total of all observations.
+func (s *RunningStat) Sum() float64 { return s.mean * float64(s.n) }
+
+// StdDev reports the sample standard deviation.
+func (s *RunningStat) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// String summarizes the statistic for logs.
+func (s *RunningStat) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g",
+		s.n, s.mean, s.min, s.max, s.StdDev())
+}
+
+// Hist is a power-of-two bucketed histogram of non-negative integer
+// observations (typically latencies in ns). Bucket i counts observations
+// in [2^i, 2^(i+1)); bucket 0 also absorbs zero. The zero value is ready
+// to use.
+type Hist struct {
+	buckets [64]int64
+	stat    RunningStat
+}
+
+// Add records one observation; negative values are clamped to zero.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.stat.Add(float64(v))
+	h.buckets[log2(uint64(v))]++
+}
+
+// AddDur records a duration observation.
+func (h *Hist) AddDur(d Dur) { h.Add(int64(d)) }
+
+// N reports the observation count.
+func (h *Hist) N() int64 { return h.stat.N() }
+
+// Mean reports the mean observation.
+func (h *Hist) Mean() float64 { return h.stat.Mean() }
+
+// Max reports the maximum observation.
+func (h *Hist) Max() float64 { return h.stat.Max() }
+
+// Percentile returns an upper bound for the p-th percentile (p in
+// [0,100]) from bucket boundaries.
+func (h *Hist) Percentile(p float64) int64 {
+	total := h.stat.N()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(float64(total) * p / 100.0))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return (int64(1) << uint(i+1)) - 1
+		}
+	}
+	return int64(h.stat.Max())
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Counter is a named monotonically increasing count.
+type Counter struct {
+	v int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Scoreboard is a string-keyed set of counters used by components to
+// export ad-hoc metrics without new fields. The zero value is ready to
+// use.
+type Scoreboard struct {
+	m map[string]int64
+}
+
+// Add increments key by n.
+func (s *Scoreboard) Add(key string, n int64) {
+	if s.m == nil {
+		s.m = make(map[string]int64)
+	}
+	s.m[key] += n
+}
+
+// Get reports the value for key (0 when absent).
+func (s *Scoreboard) Get(key string) int64 { return s.m[key] }
+
+// Keys reports all keys in sorted order.
+func (s *Scoreboard) Keys() []string {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

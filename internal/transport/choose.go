@@ -1,0 +1,77 @@
+package transport
+
+// Channel names a Venice transport channel.
+type Channel int
+
+// The three channels of §5.1.2.
+const (
+	ChanCRMA Channel = iota
+	ChanRDMA
+	ChanQPair
+)
+
+// String names the channel.
+func (c Channel) String() string {
+	switch c {
+	case ChanCRMA:
+		return "CRMA"
+	case ChanRDMA:
+		return "RDMA"
+	case ChanQPair:
+		return "QPair"
+	default:
+		return "unknown"
+	}
+}
+
+// Pattern describes a communication demand for the adaptive library.
+type Pattern int
+
+// Access patterns distinguished by the adaptive communication library
+// (§5.1.3): random fine-grained access, contiguous bulk movement, and
+// explicit message passing.
+const (
+	PatternRandom Pattern = iota
+	PatternContiguous
+	PatternMessage
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternRandom:
+		return "random"
+	case PatternContiguous:
+		return "contiguous"
+	case PatternMessage:
+		return "message"
+	default:
+		return "unknown"
+	}
+}
+
+// AdviseThresholdBytes is the transfer size above which bulk DMA beats
+// cacheline-grained access even for random requests: a few KB, where the
+// RDMA descriptor overhead amortizes.
+const AdviseThresholdBytes = 4096
+
+// Advise picks the channel the adaptive communication library would use
+// for a transfer of size bytes with the given pattern, implementing the
+// observed strengths of Fig. 17: CRMA for small/random accesses, RDMA
+// for large contiguous movement, QPair for message passing.
+func Advise(size int, pattern Pattern) Channel {
+	switch pattern {
+	case PatternMessage:
+		return ChanQPair
+	case PatternContiguous:
+		if size >= AdviseThresholdBytes {
+			return ChanRDMA
+		}
+		return ChanCRMA
+	default: // PatternRandom
+		if size >= AdviseThresholdBytes {
+			return ChanRDMA
+		}
+		return ChanCRMA
+	}
+}

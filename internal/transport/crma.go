@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// crmaReq is a cacheline fetch or store crossing the fabric.
+type crmaReq struct {
+	id    uint64
+	addr  uint64 // requester-local address; translated by the donor's table
+	size  int
+	write bool
+}
+
+// crmaResp completes a crmaReq at the requester.
+type crmaResp struct {
+	id uint64
+}
+
+// crmaPosted is a fire-and-forget remote store, used by the
+// inter-channel collaboration mechanism to deposit flow-control credits
+// directly into donor memory (§5.1.3, Fig. 9).
+type crmaPosted struct {
+	addr uint64
+	size int
+	note any // optional payload interpreted by a registered observer
+}
+
+// RAMTEntry is one row of the Remote Address Mapping Table (Fig. 8):
+// local window base/size mapped onto a remote node's physical region.
+type RAMTEntry struct {
+	Valid      bool
+	LocalBase  uint64
+	Size       uint64
+	Node       fabric.NodeID
+	RemoteBase uint64
+}
+
+// contains reports whether addr falls inside the entry's local window.
+func (e *RAMTEntry) contains(addr uint64) bool {
+	return e.Valid && addr >= e.LocalBase && addr < e.LocalBase+e.Size
+}
+
+// translate maps a requester-local address to the donor-local address.
+func (e *RAMTEntry) translate(addr uint64) uint64 {
+	return e.RemoteBase + (addr - e.LocalBase)
+}
+
+// CRMAStats counts CRMA channel activity.
+type CRMAStats struct {
+	Fills     int64
+	Writes    int64
+	Posted    int64
+	Served    int64 // requests serviced for remote nodes (donor role)
+	FillLat   sim.Hist
+	RemoteBkt sim.Scoreboard // per-donor fill counts
+}
+
+// CRMA is the cacheline remote memory access channel: once a mapping is
+// installed, misses to the mapped window are captured in hardware,
+// packetized, and serviced by the donor with no software on the critical
+// path.
+type CRMA struct {
+	ep      *Endpoint
+	ramt    []*RAMTEntry // requester-side windows
+	exports []*RAMTEntry // donor-side reverse mappings (remote node's window -> local)
+	pending map[uint64]*crmaPending
+	nextID  uint64
+
+	// postedObserver, when set, sees every posted store's note; the QPair
+	// collaboration path registers itself here.
+	postedObserver func(addr uint64, note any)
+
+	Stats CRMAStats
+}
+
+// crmaPending tracks one outstanding access for completion and latency
+// accounting.
+type crmaPending struct {
+	done  *sim.Completion
+	start sim.Time
+	write bool
+}
+
+func newCRMA(ep *Endpoint) *CRMA {
+	return &CRMA{ep: ep, pending: make(map[uint64]*crmaPending)}
+}
+
+// Map installs a requester-side RAMT entry: the local window
+// [localBase, localBase+size) resolves to donor's [remoteBase, ...).
+// The matching donor-side entry must be installed with Export.
+func (c *CRMA) Map(localBase, size uint64, donor fabric.NodeID, remoteBase uint64) (*RAMTEntry, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("crma: zero-size mapping")
+	}
+	for _, e := range c.ramt {
+		if e.Valid && localBase < e.LocalBase+e.Size && e.LocalBase < localBase+size {
+			return nil, fmt.Errorf("crma: window [%#x,%#x) overlaps existing entry", localBase, localBase+size)
+		}
+	}
+	e := &RAMTEntry{Valid: true, LocalBase: localBase, Size: size, Node: donor, RemoteBase: remoteBase}
+	c.ramt = append(c.ramt, e)
+	return e, nil
+}
+
+// Export installs the donor-side mapping that accepts requests from a
+// recipient for local region [localBase, localBase+size).
+func (c *CRMA) Export(recipient fabric.NodeID, recipientBase, size, localBase uint64) *RAMTEntry {
+	e := &RAMTEntry{Valid: true, LocalBase: recipientBase, Size: size, Node: recipient, RemoteBase: localBase}
+	c.exports = append(c.exports, e)
+	return e
+}
+
+// Unmap invalidates a requester-side entry after cleanup (stop-sharing).
+func (c *CRMA) Unmap(e *RAMTEntry) { e.Valid = false }
+
+// UnexportAll invalidates every donor-side export serving a recipient.
+func (c *CRMA) UnexportAll(recipient fabric.NodeID) {
+	for _, e := range c.exports {
+		if e.Node == recipient {
+			e.Valid = false
+		}
+	}
+}
+
+// Lookup finds the RAMT entry covering addr, if any — the hardware hit
+// check of Fig. 8.
+func (c *CRMA) Lookup(addr uint64) (*RAMTEntry, bool) {
+	for _, e := range c.ramt {
+		if e.contains(addr) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// FillAsync issues a remote read of size bytes at addr (which must be
+// covered by a mapping) and returns a completion that fires when the data
+// arrives. This is the hardware path a cache miss takes.
+func (c *CRMA) FillAsync(addr uint64, size int) *sim.Completion {
+	return c.accessAsync(addr, size, false)
+}
+
+// WriteAsync issues a remote store (e.g. a dirty writeback) and returns
+// its acknowledgement completion.
+func (c *CRMA) WriteAsync(addr uint64, size int) *sim.Completion {
+	return c.accessAsync(addr, size, true)
+}
+
+func (c *CRMA) accessAsync(addr uint64, size int, write bool) *sim.Completion {
+	e, ok := c.Lookup(addr)
+	if !ok {
+		panic(fmt.Sprintf("crma: node %v: access to unmapped address %#x", c.ep.ID, addr))
+	}
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Fills++
+		c.Stats.RemoteBkt.Add(e.Node.String(), 1)
+	}
+	id := c.nextID
+	c.nextID++
+	pend := &crmaPending{done: sim.NewCompletion(c.ep.Eng), start: c.ep.Eng.Now(), write: write}
+	c.pending[id] = pend
+	reqSize := 16 // address + control
+	if write {
+		reqSize = 16 + size // write carries data
+	}
+	req := &crmaReq{id: id, addr: addr, size: size, write: write}
+	// Capture + packetize in the CRMA logic, then inject.
+	c.ep.Eng.Schedule(c.ep.P.CRMALogic, func() {
+		c.ep.SendRaw(e.Node, "crma.req", reqSize, req)
+	})
+	return pend.done
+}
+
+// Fill blocks the calling process until a remote read completes.
+func (c *CRMA) Fill(p *sim.Proc, addr uint64, size int) {
+	p.Await(c.FillAsync(addr, size))
+}
+
+// Write blocks the calling process until a remote store is acknowledged.
+func (c *CRMA) Write(p *sim.Proc, addr uint64, size int) {
+	p.Await(c.WriteAsync(addr, size))
+}
+
+// PostWrite sends a fire-and-forget remote store with an attached note.
+// The donor's posted observer (if any) sees the note on arrival. Posted
+// writes are overwriteable and carry no ordering guarantee relative to
+// other channels — exactly the semantics the collaboration design needs
+// for credit updates.
+func (c *CRMA) PostWrite(dst fabric.NodeID, addr uint64, size int, note any) {
+	c.Stats.Posted++
+	m := &crmaPosted{addr: addr, size: size, note: note}
+	c.ep.Eng.Schedule(c.ep.P.CRMALogic, func() {
+		c.ep.SendRaw(dst, "crma.post", 16+size, m)
+	})
+}
+
+// ObservePosted registers the consumer of posted-write notes.
+func (c *CRMA) ObservePosted(fn func(addr uint64, note any)) { c.postedObserver = fn }
+
+// lookupExport finds the donor-side entry matching a requester address.
+func (c *CRMA) lookupExport(from fabric.NodeID, addr uint64) (*RAMTEntry, bool) {
+	for _, e := range c.exports {
+		if e.Node == from && e.contains(addr) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// handleReq services a remote fill or store at the donor: translate
+// through the export table, access memory, respond (for reads) after the
+// memory service time.
+func (c *CRMA) handleReq(pkt *fabric.Packet, m *crmaReq) {
+	e, ok := c.lookupExport(pkt.Src, m.addr)
+	if !ok {
+		panic(fmt.Sprintf("crma: node %v: request from %v for unexported address %#x",
+			c.ep.ID, pkt.Src, m.addr))
+	}
+	c.Stats.Served++
+	local := e.translate(m.addr)
+	svc := c.ep.Mem.Service(local, m.size, m.write)
+	respSize := m.size // read response carries data
+	if m.write {
+		respSize = 0 // store ack is header-only
+	}
+	from := pkt.Src
+	c.ep.Eng.Schedule(c.ep.P.CRMALogic+svc, func() {
+		c.ep.SendRaw(from, "crma.resp", respSize, &crmaResp{id: m.id})
+	})
+}
+
+// handleResp completes the requester-side pending access.
+func (c *CRMA) handleResp(m *crmaResp) {
+	pend, ok := c.pending[m.id]
+	if !ok {
+		return
+	}
+	delete(c.pending, m.id)
+	// De-packetize in the CRMA logic before handing data to the core.
+	c.ep.Eng.Schedule(c.ep.P.CRMALogic, func() {
+		if !pend.write {
+			c.Stats.FillLat.AddDur(c.ep.Eng.Now().Sub(pend.start))
+		}
+		pend.done.Complete()
+	})
+}
+
+// handlePosted applies a posted write at the receiver. Credit notes go
+// straight to their queue pair's hardware state machine — no software on
+// the path, which is the point of the collaboration (Fig. 9).
+func (c *CRMA) handlePosted(_ *fabric.Packet, m *crmaPosted) {
+	c.ep.Eng.Schedule(c.ep.P.CRMALogic, func() {
+		if cr, ok := m.note.(*qpCredit); ok {
+			if qp, live := c.ep.qpairs[cr.dstQID]; live {
+				qp.addCredits(cr.credits)
+			}
+			return
+		}
+		if c.postedObserver != nil {
+			c.postedObserver(m.addr, m.note)
+		}
+	})
+}

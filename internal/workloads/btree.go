@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// BTree is a bulk-loaded B-tree keyed store in the spirit of the
+// BerkeleyDB workload: an index over dense integer keys plus a record
+// heap. Index and records are placed through separate arenas, so an
+// experiment can hold the index locally while records live in borrowed
+// remote memory (the §4.2 configuration), put everything in one
+// swap-backed region (Figs. 3 and 15), or keep it all local.
+//
+// Values are real Go data: Get returns what Put stored, and tests verify
+// it — the timing model never shortcuts the semantics.
+type BTree struct {
+	h       *memsys.Hierarchy
+	fanout  int
+	nkeys   int
+	recSize int
+
+	// levels[0] is the root level; the last level is the leaves. Each
+	// node occupies nodeBytes at base + idx*nodeBytes.
+	levels    []btLevel
+	nodeBytes uint64
+	recBase   uint64
+
+	values []uint64
+
+	// Stats counts operations.
+	Gets int64
+	Puts int64
+}
+
+type btLevel struct {
+	base  uint64
+	nodes int
+}
+
+// entryBytes is the size of one (key, child/record pointer) pair.
+const entryBytes = 16
+
+// BuildBTree bulk-loads a tree of nkeys dense keys with the given record
+// size. Index nodes are allocated from indexArena, records from
+// recordArena. The build streams through both arenas (writes), charging
+// the construction cost like a real loader would.
+func BuildBTree(p *sim.Proc, h *memsys.Hierarchy, indexArena, recordArena *Arena,
+	nkeys, recSize, fanout int) *BTree {
+	return buildBTree(p, h, indexArena, recordArena, nkeys, recSize, fanout, true)
+}
+
+// BuildBTreeIndex builds only the index side: record addresses are
+// computed against recordArena's space but never written — the records
+// belong to a remote data server (the QPair configurations of §4.2).
+func BuildBTreeIndex(p *sim.Proc, h *memsys.Hierarchy, indexArena, recordArena *Arena,
+	nkeys, recSize, fanout int) *BTree {
+	return buildBTree(p, h, indexArena, recordArena, nkeys, recSize, fanout, false)
+}
+
+func buildBTree(p *sim.Proc, h *memsys.Hierarchy, indexArena, recordArena *Arena,
+	nkeys, recSize, fanout int, writeRecords bool) *BTree {
+	if nkeys <= 0 || fanout < 2 {
+		panic(fmt.Sprintf("workloads: bad btree shape n=%d fanout=%d", nkeys, fanout))
+	}
+	t := &BTree{
+		h:         h,
+		fanout:    fanout,
+		nkeys:     nkeys,
+		recSize:   recSize,
+		nodeBytes: uint64(fanout * entryBytes),
+		values:    make([]uint64, nkeys),
+	}
+	// Leaves first, then shrink toward the root.
+	var sizes []int
+	n := (nkeys + fanout - 1) / fanout
+	for {
+		sizes = append(sizes, n)
+		if n == 1 {
+			break
+		}
+		n = (n + fanout - 1) / fanout
+	}
+	// levels stores root first.
+	for i := len(sizes) - 1; i >= 0; i-- {
+		lv := btLevel{nodes: sizes[i]}
+		lv.base = indexArena.Alloc(uint64(sizes[i])*t.nodeBytes, 64)
+		t.levels = append(t.levels, lv)
+	}
+	t.recBase = recordArena.Alloc(uint64(nkeys)*uint64(recSize), 64)
+
+	// Streaming build: write every node and record once.
+	for _, lv := range t.levels {
+		bytes := uint64(lv.nodes) * t.nodeBytes
+		for off := uint64(0); off < bytes; off += 4096 {
+			chunk := bytes - off
+			if chunk > 4096 {
+				chunk = 4096
+			}
+			h.Write(p, lv.base+off, int(chunk))
+		}
+	}
+	if writeRecords {
+		total := uint64(nkeys) * uint64(recSize)
+		for off := uint64(0); off < total; off += 4096 {
+			chunk := total - off
+			if chunk > 4096 {
+				chunk = 4096
+			}
+			h.Write(p, t.recBase+off, int(chunk))
+		}
+	}
+	h.Compute(p, int64(nkeys)*20)
+	return t
+}
+
+// Depth reports the number of index levels.
+func (t *BTree) Depth() int { return len(t.levels) }
+
+// Keys reports the key count.
+func (t *BTree) Keys() int { return t.nkeys }
+
+// RecordAddr reports the simulated address of a key's record.
+func (t *BTree) RecordAddr(key int) uint64 {
+	return t.recBase + uint64(key)*uint64(t.recSize)
+}
+
+// RecordSize reports the record payload size.
+func (t *BTree) RecordSize() int { return t.recSize }
+
+// LookupAddr walks the index from root to leaf and returns the record
+// address for key. Each level costs a node touch (two probes of the
+// binary search landing in up to two cache lines) plus compare work.
+func (t *BTree) LookupAddr(p *sim.Proc, key int) uint64 {
+	if key < 0 || key >= t.nkeys {
+		panic(fmt.Sprintf("workloads: key %d out of range", key))
+	}
+	div := 1
+	for i := 0; i < len(t.levels)-1; i++ {
+		div *= t.fanout
+	}
+	for _, lv := range t.levels {
+		idx := key / max(div, 1) % max(lv.nodes, 1)
+		if idx >= lv.nodes {
+			idx = lv.nodes - 1
+		}
+		nodeAddr := lv.base + uint64(idx)*t.nodeBytes
+		// Binary search: probe two spots in the node.
+		t.h.Read(p, nodeAddr+uint64(t.fanout/2*entryBytes), entryBytes)
+		t.h.Read(p, nodeAddr+uint64(t.fanout/4*entryBytes), entryBytes)
+		t.h.Compute(p, opsPerBTreeProbe)
+		div /= t.fanout
+	}
+	return t.RecordAddr(key)
+}
+
+// Get looks a key up and reads its record, returning the stored value.
+func (t *BTree) Get(p *sim.Proc, key int) uint64 {
+	addr := t.LookupAddr(p, key)
+	t.h.Read(p, addr, t.recSize)
+	t.h.Compute(p, opsPerRecordTouch)
+	t.Gets++
+	return t.values[key]
+}
+
+// Put looks a key up and overwrites its record with value.
+func (t *BTree) Put(p *sim.Proc, key int, value uint64) {
+	addr := t.LookupAddr(p, key)
+	t.h.Write(p, addr, t.recSize)
+	t.h.Compute(p, opsPerRecordTouch)
+	t.values[key] = value
+	t.Puts++
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OLTPMix runs the paper's BerkeleyDB transaction shape: per
+// transaction, four random gets and one random put (an 80/20 read-write
+// mix, "typical for OLTP databases"). It returns a checksum of the
+// values read so the work cannot be optimized away.
+func (t *BTree) OLTPMix(p *sim.Proc, rng *sim.RNG, transactions int) uint64 {
+	var sum uint64
+	for i := 0; i < transactions; i++ {
+		for g := 0; g < 4; g++ {
+			sum += t.Get(p, rng.Intn(t.nkeys))
+		}
+		t.Put(p, rng.Intn(t.nkeys), sum)
+	}
+	return sum
+}

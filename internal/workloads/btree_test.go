@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/memsys"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// wrig is a two-node workload test rig.
+type wrig struct {
+	eng   *sim.Engine
+	p     sim.Params
+	local *node.Node
+	donor *node.Node
+}
+
+func newWrig(t *testing.T) *wrig {
+	t.Helper()
+	eng := sim.New()
+	t.Cleanup(eng.Close)
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Pair(), sim.NewRNG(11))
+	return &wrig{
+		eng:   eng,
+		p:     p,
+		local: node.New(eng, &p, net, 0, 1<<30),
+		donor: node.New(eng, &p, net, 1, 1<<30),
+	}
+}
+
+func TestArenaAllocation(t *testing.T) {
+	a := NewArena(0x1000, 0x1000)
+	first := a.Alloc(100, 64)
+	if first != 0x1000 {
+		t.Fatalf("first = %#x", first)
+	}
+	second := a.Alloc(8, 64)
+	if second != 0x1080 {
+		t.Fatalf("second = %#x, want aligned past first", second)
+	}
+	if a.Used() != 0x88 {
+		t.Fatalf("used = %#x", a.Used())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted arena did not panic")
+		}
+	}()
+	a.Alloc(0x10000, 1)
+}
+
+func TestBTreeSemantics(t *testing.T) {
+	r := newWrig(t)
+	idx := NewArena(0, 64<<20)
+	rec := NewArena(64<<20, 256<<20)
+	r.local.Run("kv", func(p *sim.Proc) {
+		kv := BuildBTree(p, r.local.Mem, idx, rec, 10000, 64, 16)
+		if kv.Depth() < 3 {
+			t.Errorf("depth = %d, want >= 3 for 10k keys fanout 16", kv.Depth())
+		}
+		kv.Put(p, 42, 0xDEAD)
+		kv.Put(p, 9999, 0xBEEF)
+		if got := kv.Get(p, 42); got != 0xDEAD {
+			t.Errorf("Get(42) = %#x", got)
+		}
+		if got := kv.Get(p, 9999); got != 0xBEEF {
+			t.Errorf("Get(9999) = %#x", got)
+		}
+		if got := kv.Get(p, 7); got != 0 {
+			t.Errorf("Get(7) = %#x, want zero", got)
+		}
+		if kv.Gets != 3 || kv.Puts != 2 {
+			t.Errorf("counted gets=%d puts=%d", kv.Gets, kv.Puts)
+		}
+	})
+	r.eng.Run()
+}
+
+func TestBTreeRemoteRecordsCostMore(t *testing.T) {
+	r := newWrig(t)
+	// Local config: index + records local.
+	// Remote config: index local, records in a CRMA window.
+	const nkeys = 20000
+	win := r.local.NextHotplugWindow(512 << 20)
+	if _, err := r.local.EP.CRMA.Map(win, 512<<20, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.donor.EP.CRMA.Export(0, win, 512<<20, 0)
+	if err := r.local.Mem.AS.Add(&memsys.Region{Base: win, Size: 512 << 20,
+		Backend: &memsys.CRMARemote{CRMA: r.local.EP.CRMA, Donor: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var localT, remoteT sim.Dur
+	r.local.Run("compare", func(p *sim.Proc) {
+		rng := sim.NewRNG(5)
+		kvLocal := BuildBTree(p, r.local.Mem,
+			NewArena(0, 64<<20), NewArena(64<<20, 256<<20), nkeys, 64, 16)
+		t0 := p.Now()
+		kvLocal.OLTPMix(p, rng, 400)
+		r.local.Mem.Flush(p)
+		localT = p.Now().Sub(t0)
+
+		kvRemote := BuildBTree(p, r.local.Mem,
+			NewArena(320<<20, 64<<20), NewArena(win, 256<<20), nkeys, 64, 16)
+		t1 := p.Now()
+		kvRemote.OLTPMix(p, rng, 400)
+		r.local.Mem.Flush(p)
+		remoteT = p.Now().Sub(t1)
+	})
+	r.eng.Run()
+	ratio := float64(remoteT) / float64(localT)
+	// The paper's on-chip CRMA config lands at 2-3.5x for BerkeleyDB.
+	if ratio < 1.5 || ratio > 8 {
+		t.Fatalf("remote/local = %.2f (%v vs %v), want a 1.5-8x slowdown", ratio, remoteT, localT)
+	}
+}
+
+func TestRemoteKVOverQPair(t *testing.T) {
+	r := newWrig(t)
+	qa, qb := transport.ConnectQPair(r.local.EP, r.donor.EP, transport.QPairConfig{})
+	const nkeys = 5000
+	// Server holds records in its local memory at the same addresses the
+	// client index computes.
+	server := &DataServer{H: r.donor.Mem, QP: qb, Think: 500 * sim.Nanosecond}
+	ServeKV(r.eng, "kv-server", server)
+
+	var elapsed sim.Dur
+	r.local.Run("client", func(p *sim.Proc) {
+		idx := NewArena(0, 64<<20)
+		rec := NewArena(64<<20, 64<<20)
+		kv := BuildBTree(p, r.local.Mem, idx, rec, nkeys, 64, 16)
+		rkv := &RemoteKV{Index: kv, QP: qa}
+		rng := sim.NewRNG(5)
+		t0 := p.Now()
+		rkv.OLTPMix(p, rng, 100)
+		elapsed = p.Now().Sub(t0)
+		rkv.Close(p)
+		if rkv.Gets != 400 || rkv.Puts != 100 {
+			t.Errorf("gets=%d puts=%d", rkv.Gets, rkv.Puts)
+		}
+	})
+	r.eng.Run()
+	if server.Served != 500 {
+		t.Fatalf("server served %d, want 500", server.Served)
+	}
+	// Every operation pays a QPair round trip: 500 ops need at least
+	// 500 * (4 SW crossings + 2 hops).
+	minPerOp := 4*r.p.QPairSWSend + 2*r.p.HopLatency()
+	if elapsed < 500*minPerOp/1 {
+		t.Fatalf("elapsed %v below QPair floor", elapsed)
+	}
+}

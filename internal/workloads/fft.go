@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/accel"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// FFTCompute performs a real in-place radix-2 Cooley-Tukey FFT. n must
+// be a power of two. (The SPLASH2 FFT workload — used both as the CPU
+// baseline and to validate that offloaded "XFFT" results would be
+// reproducible.)
+func FFTCompute(data []complex128) {
+	n := len(data)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("workloads: FFT size %d not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+		m := n >> 1
+		for ; j&m != 0; m >>= 1 {
+			j &^= m
+		}
+		j |= m
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			wk := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := data[start+k]
+				b := data[start+k+half] * wk
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+				wk *= w
+			}
+		}
+	}
+}
+
+// FFTLocalCPU runs a real FFT of n complex points whose array sits at
+// base, charging per-stage streaming memory traffic and butterfly
+// compute. It returns the transformed data.
+func FFTLocalCPU(p *sim.Proc, h *memsys.Hierarchy, base uint64, data []complex128) []complex128 {
+	n := len(data)
+	stages := 0
+	for s := 1; s < n; s <<= 1 {
+		stages++
+	}
+	bytes := uint64(n) * 16
+	for s := 0; s < stages; s++ {
+		// Each stage streams the whole array (read + write).
+		for off := uint64(0); off < bytes; off += 4096 {
+			chunk := bytes - off
+			if chunk > 4096 {
+				chunk = 4096
+			}
+			h.Read(p, base+off, int(chunk))
+			h.Write(p, base+off, int(chunk))
+		}
+		h.Compute(p, int64(n)*10)
+	}
+	FFTCompute(data)
+	return data
+}
+
+// FFTFarm offloads a dataset of totalBytes across a local accelerator
+// plus any number of remote handles, splitting it evenly and running all
+// devices concurrently — the Fig. 16a experiment shape (LA+kRA). It
+// returns when every share completes.
+func FFTFarm(p *sim.Proc, eng *sim.Engine, local *accel.Accelerator,
+	remotes []*accel.RemoteHandle, totalBytes int) {
+	devices := 1 + len(remotes)
+	share := totalBytes / devices
+	if share < 1 {
+		share = 1
+	}
+	g := sim.NewGroup(eng)
+	g.Add(devices)
+	eng.Go("fft-local", func(q *sim.Proc) {
+		local.RunLocal(q, share)
+		g.Done()
+	})
+	for i, h := range remotes {
+		h := h
+		eng.Go(fmt.Sprintf("fft-remote%d", i), func(q *sim.Proc) {
+			h.Run(q, "fft", share)
+			g.Done()
+		})
+	}
+	g.Wait(p)
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// Graph is a CSR-layout directed graph with simulated placement: the row
+// offsets, edge targets, and per-vertex data arrays each get addresses
+// from (possibly different) arenas, so any of them can live in borrowed
+// remote memory or a swap-backed range.
+type Graph struct {
+	N    int
+	Row  []int32 // len N+1
+	Dst  []int32 // len E
+	Deg  []int32 // convenience: out-degree per vertex
+	Name string
+
+	RowBase  uint64
+	EdgeBase uint64
+	DataBase uint64 // 8 B per vertex (ranks, labels, parents, ...)
+}
+
+// Edges reports the edge count.
+func (g *Graph) Edges() int { return len(g.Dst) }
+
+// Adj returns the real adjacency slice of u.
+func (g *Graph) Adj(u int) []int32 { return g.Dst[g.Row[u]:g.Row[u+1]] }
+
+// Place assigns simulated addresses from the arenas. row and data are
+// often local while edges live remotely (the §4.2 configuration).
+func (g *Graph) Place(rowArena, edgeArena, dataArena *Arena) {
+	g.RowBase = rowArena.Alloc(uint64(len(g.Row))*4, 64)
+	g.EdgeBase = edgeArena.Alloc(uint64(len(g.Dst))*4, 64)
+	g.DataBase = dataArena.Alloc(uint64(g.N)*8, 64)
+}
+
+// edgeAddr reports the simulated address of edge index e.
+func (g *Graph) edgeAddr(e int32) uint64 { return g.EdgeBase + uint64(e)*4 }
+
+// dataAddr reports the simulated address of vertex v's data word.
+func (g *Graph) dataAddr(v int32) uint64 { return g.DataBase + uint64(v)*8 }
+
+// buildCSR finalizes a graph from an edge list.
+func buildCSR(n int, src, dst []int32, name string) *Graph {
+	g := &Graph{N: n, Name: name}
+	g.Row = make([]int32, n+1)
+	for _, s := range src {
+		g.Row[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.Row[i+1] += g.Row[i]
+	}
+	g.Dst = make([]int32, len(dst))
+	cursor := make([]int32, n)
+	copy(cursor, g.Row[:n])
+	for i, s := range src {
+		g.Dst[cursor[s]] = dst[i]
+		cursor[s]++
+	}
+	// Sort each adjacency list for determinism and locality.
+	for u := 0; u < n; u++ {
+		adj := g.Dst[g.Row[u]:g.Row[u+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	g.Deg = make([]int32, n)
+	for u := 0; u < n; u++ {
+		g.Deg[u] = g.Row[u+1] - g.Row[u]
+	}
+	return g
+}
+
+// GenUniform generates a uniform random directed graph with n vertices
+// and ~avgDeg out-edges per vertex (the PageRank input shape: the paper
+// uses 1,488,712 vertices and 8,678,566 edges, degree ≈ 5.8).
+func GenUniform(rng *sim.RNG, n, avgDeg int) *Graph {
+	e := n * avgDeg
+	src := make([]int32, e)
+	dst := make([]int32, e)
+	for i := 0; i < e; i++ {
+		src[i] = int32(i / avgDeg)
+		dst[i] = int32(rng.Intn(n))
+	}
+	return buildCSR(n, src, dst, fmt.Sprintf("uniform(n=%d,d=%d)", n, avgDeg))
+}
+
+// GenRMAT generates a Graph500-style R-MAT graph with 2^scale vertices
+// and edgeFactor*2^scale edges, using the standard (A,B,C,D) =
+// (0.57, 0.19, 0.19, 0.05) partition probabilities.
+func GenRMAT(rng *sim.RNG, scale, edgeFactor int) *Graph {
+	n := 1 << scale
+	e := n * edgeFactor
+	src := make([]int32, e)
+	dst := make([]int32, e)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < e; i++ {
+		var s, d int
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left: neither bit set
+			case r < a+b:
+				d |= 1 << bit
+			case r < a+b+c:
+				s |= 1 << bit
+			default:
+				s |= 1 << bit
+				d |= 1 << bit
+			}
+		}
+		src[i] = int32(s)
+		dst[i] = int32(d)
+	}
+	return buildCSR(n, src, dst, fmt.Sprintf("rmat(scale=%d,ef=%d)", scale, edgeFactor))
+}
+
+// readRow charges the row-offset touches for vertex u (sequential,
+// almost always cached).
+func (g *Graph) readRow(p *sim.Proc, h *memsys.Hierarchy, u int) {
+	h.Read(p, g.RowBase+uint64(u)*4, 8)
+}
+
+// readAdj charges the streaming read of u's adjacency list and returns
+// the real slice.
+func (g *Graph) readAdj(p *sim.Proc, h *memsys.Hierarchy, u int) []int32 {
+	adj := g.Adj(u)
+	if len(adj) > 0 {
+		h.Read(p, g.edgeAddr(g.Row[u]), len(adj)*4)
+	}
+	return adj
+}

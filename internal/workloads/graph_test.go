@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func TestGenUniformShape(t *testing.T) {
+	g := GenUniform(sim.NewRNG(1), 1000, 6)
+	if g.N != 1000 || g.Edges() != 6000 {
+		t.Fatalf("n=%d e=%d", g.N, g.Edges())
+	}
+	// CSR invariants.
+	if g.Row[0] != 0 || int(g.Row[g.N]) != g.Edges() {
+		t.Fatal("row offsets corrupt")
+	}
+	for u := 0; u < g.N; u++ {
+		if g.Row[u] > g.Row[u+1] {
+			t.Fatal("row offsets not monotone")
+		}
+		for _, v := range g.Adj(u) {
+			if v < 0 || int(v) >= g.N {
+				t.Fatalf("edge target %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestGenRMATIsSkewed(t *testing.T) {
+	g := GenRMAT(sim.NewRNG(2), 10, 8)
+	if g.N != 1024 || g.Edges() != 8192 {
+		t.Fatalf("n=%d e=%d", g.N, g.Edges())
+	}
+	// R-MAT concentrates degree: the max out-degree should far exceed
+	// the average (8).
+	var maxDeg int32
+	for _, d := range g.Deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 32 {
+		t.Fatalf("max degree %d too small for R-MAT skew", maxDeg)
+	}
+}
+
+func TestPageRankConverges(t *testing.T) {
+	r := newWrig(t)
+	g := GenUniform(sim.NewRNG(3), 2000, 5)
+	g.Place(NewArena(0, 16<<20), NewArena(16<<20, 64<<20), NewArena(96<<20, 16<<20))
+	var ranks []float64
+	r.local.Run("pr", func(p *sim.Proc) {
+		ranks = PageRank(p, r.local.Mem, g, 3)
+	})
+	r.eng.Run()
+	sum := 0.0
+	for _, rk := range ranks {
+		if rk < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += rk
+	}
+	if math.Abs(sum-1.0) > 0.2 {
+		t.Fatalf("ranks sum to %.3f, want ~1 (dangling mass aside)", sum)
+	}
+}
+
+func TestPageRankQPairMatchesLocalResults(t *testing.T) {
+	r := newWrig(t)
+	g := GenUniform(sim.NewRNG(3), 500, 5)
+	g.Place(NewArena(0, 4<<20), NewArena(4<<20, 16<<20), NewArena(24<<20, 4<<20))
+	qa, qb := transport.ConnectQPair(r.local.EP, r.donor.EP, transport.QPairConfig{})
+	server := &DataServer{H: r.donor.Mem, QP: qb}
+	ServeKV(r.eng, "edge-server", server)
+
+	var viaQP, local []float64
+	r.local.Run("pr", func(p *sim.Proc) {
+		viaQP = PageRankQPair(p, r.local.Mem, g, qa, 2, 8)
+		local = PageRank(p, r.local.Mem, g, 2)
+		qa.Send(p, 8, &kvReq{close: true})
+	})
+	r.eng.Run()
+	for i := range local {
+		if math.Abs(local[i]-viaQP[i]) > 1e-12 {
+			t.Fatalf("rank[%d] differs: %v vs %v", i, local[i], viaQP[i])
+		}
+	}
+}
+
+func TestPageRankAsyncWindowHidesLatency(t *testing.T) {
+	run := func(window int) sim.Dur {
+		r := newWrig(t)
+		g := GenUniform(sim.NewRNG(3), 800, 5)
+		g.Place(NewArena(0, 4<<20), NewArena(4<<20, 32<<20), NewArena(40<<20, 4<<20))
+		qa, qb := transport.ConnectQPair(r.local.EP, r.donor.EP, transport.QPairConfig{})
+		ServeKV(r.eng, "edge-server", &DataServer{H: r.donor.Mem, QP: qb})
+		var elapsed sim.Dur
+		r.local.Run("pr", func(p *sim.Proc) {
+			t0 := p.Now()
+			PageRankQPair(p, r.local.Mem, g, qa, 1, window)
+			elapsed = p.Now().Sub(t0)
+			qa.Send(p, 8, &kvReq{close: true})
+		})
+		r.eng.Run()
+		return elapsed
+	}
+	sync := run(1)
+	async := run(16)
+	// §4.2.1: async communication delivers a large win for PageRank.
+	if float64(async) > 0.7*float64(sync) {
+		t.Fatalf("async (%v) should be well under sync (%v)", async, sync)
+	}
+}
+
+func TestConnectedComponentsCorrect(t *testing.T) {
+	r := newWrig(t)
+	// Two cliques joined nowhere: labels must settle to two groups.
+	// Build edges by hand: 0-1-2 cycle and 3-4 pair (undirected pairs).
+	src := []int32{0, 1, 2, 1, 2, 0, 3, 4}
+	dst := []int32{1, 2, 0, 0, 1, 2, 4, 3}
+	g := buildCSR(5, src, dst, "test")
+	g.Place(NewArena(0, 1<<20), NewArena(1<<20, 1<<20), NewArena(2<<20, 1<<20))
+	var labels []int32
+	r.local.Run("cc", func(p *sim.Proc) {
+		labels = ConnectedComponents(p, r.local.Mem, g)
+	})
+	r.eng.Run()
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != 0 {
+		t.Fatalf("first component labels: %v", labels[:3])
+	}
+	if labels[3] != 3 || labels[4] != 3 {
+		t.Fatalf("second component labels: %v", labels[3:])
+	}
+}
+
+func TestBFSVisitsReachableSet(t *testing.T) {
+	r := newWrig(t)
+	g := GenRMAT(sim.NewRNG(7), 9, 8)
+	g.Place(NewArena(0, 4<<20), NewArena(4<<20, 16<<20), NewArena(24<<20, 4<<20))
+	var parents []int32
+	var visited int
+	r.local.Run("bfs", func(p *sim.Proc) {
+		// Root at the largest-degree vertex, per Graph500 practice of
+		// sampling roots with edges.
+		root := 0
+		for u := range g.Deg {
+			if g.Deg[u] > g.Deg[root] {
+				root = u
+			}
+		}
+		parents, visited = BFS(p, r.local.Mem, g, root)
+	})
+	r.eng.Run()
+	if visited < 2 {
+		t.Fatal("BFS visited almost nothing")
+	}
+	count := 0
+	for _, pa := range parents {
+		if pa >= 0 {
+			count++
+		}
+	}
+	if count != visited {
+		t.Fatalf("parent entries %d != visited %d", count, visited)
+	}
+}
+
+func TestGrepCountsRealMatches(t *testing.T) {
+	r := newWrig(t)
+	rng := sim.NewRNG(4)
+	pattern := []byte("venice")
+	text := SynthText(rng, 1<<20, pattern, 4096)
+	want := countMatches(text, pattern)
+	if want < 200 {
+		t.Fatalf("synthetic text has only %d matches", want)
+	}
+	var got int
+	r.local.Run("grep", func(p *sim.Proc) {
+		got = Grep(p, r.local.Mem, 0, text, pattern)
+	})
+	r.eng.Run()
+	if got != want {
+		t.Fatalf("grep found %d, want %d", got, want)
+	}
+}
+
+func TestFFTComputeParseval(t *testing.T) {
+	rng := sim.NewRNG(8)
+	n := 1024
+	data := make([]complex128, n)
+	var timeEnergy float64
+	for i := range data {
+		re := rng.Float64()*2 - 1
+		data[i] = complex(re, 0)
+		timeEnergy += re * re
+	}
+	FFTCompute(data)
+	var freqEnergy float64
+	for _, c := range data {
+		freqEnergy += real(c)*real(c) + imag(c)*imag(c)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy)/timeEnergy > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTLocalCPUChargesTime(t *testing.T) {
+	r := newWrig(t)
+	data := make([]complex128, 4096)
+	data[1] = 1
+	var elapsed sim.Dur
+	r.local.Run("fft", func(p *sim.Proc) {
+		t0 := p.Now()
+		FFTLocalCPU(p, r.local.Mem, 0, data)
+		r.local.Mem.Flush(p)
+		elapsed = p.Now().Sub(t0)
+	})
+	r.eng.Run()
+	if elapsed <= 0 {
+		t.Fatal("FFT charged no time")
+	}
+	// 4096 points * 12 stages * 10 ops at 0.667 GHz is ~0.7ms of compute
+	// alone; total must exceed that.
+	if elapsed < 500*sim.Microsecond {
+		t.Fatalf("FFT cost %v, implausibly cheap", elapsed)
+	}
+}

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// kvReq is a record fetch or store request to the remote data server.
+type kvReq struct {
+	addr  uint64
+	size  int
+	write bool
+	close bool
+}
+
+// kvResp carries the record back.
+type kvResp struct{}
+
+// DataServer serves record fetches from its node's local memory over a
+// QPair — the explicit-communication counterpart of CRMA access that the
+// §4.2 QPair configurations measure (and the shape Scale-out NUMA's
+// remote gets take).
+type DataServer struct {
+	H  *memsys.Hierarchy
+	QP *transport.QPair
+	// Think is extra per-request server software time beyond the memory
+	// access (request parse, dispatch).
+	Think sim.Dur
+
+	Served int64
+}
+
+// ServeKV starts the server loop; it exits on a close request.
+func ServeKV(eng *sim.Engine, name string, s *DataServer) *sim.Completion {
+	return eng.Go(name, func(p *sim.Proc) {
+		for {
+			m := s.QP.Recv(p)
+			req := m.Data.(*kvReq)
+			if req.close {
+				return
+			}
+			if s.Think > 0 {
+				p.Sleep(s.Think)
+			}
+			if req.write {
+				s.H.Write(p, req.addr, req.size)
+				s.H.Flush(p)
+				s.QP.Send(p, 0, &kvResp{})
+			} else {
+				s.H.Read(p, req.addr, req.size)
+				s.H.Flush(p)
+				s.QP.Send(p, req.size, &kvResp{})
+			}
+			s.Served++
+		}
+	})
+}
+
+// RemoteKV is the client side: the key-to-address index lives locally
+// (as in the paper's footnote: "the key is used to look up the address
+// of the corresponding record"); records live on the server and move as
+// explicit QPair messages.
+type RemoteKV struct {
+	Index *BTree // local index; its record arena mirrors server layout
+	QP    *transport.QPair
+
+	Gets int64
+	Puts int64
+}
+
+// Get fetches one record synchronously: one request/response round trip.
+func (r *RemoteKV) Get(p *sim.Proc, key int) {
+	addr := r.Index.LookupAddr(p, key)
+	r.Index.h.Flush(p)
+	r.QP.Send(p, 16, &kvReq{addr: addr, size: r.Index.RecordSize()})
+	r.QP.Recv(p)
+	r.Index.h.Compute(p, opsPerRecordTouch)
+	r.Gets++
+}
+
+// Put stores one record synchronously.
+func (r *RemoteKV) Put(p *sim.Proc, key int) {
+	addr := r.Index.LookupAddr(p, key)
+	r.Index.h.Flush(p)
+	r.QP.Send(p, 16+r.Index.RecordSize(), &kvReq{addr: addr, size: r.Index.RecordSize(), write: true})
+	r.QP.Recv(p)
+	r.Puts++
+}
+
+// OLTPMix runs the BerkeleyDB transaction shape over the QPair channel.
+// Window is the number of outstanding requests the client sustains: 1
+// models the synchronous legacy style; larger windows model the
+// asynchronous (Scale-out NUMA-style) rewrite. BerkeleyDB's transactions
+// are dependent — "the client must check the return status before
+// processing the next query" — so its asynchronous variant still runs
+// with an effective window of 1; PageRank-style workloads use real
+// windows (see PageRankQPair).
+func (r *RemoteKV) OLTPMix(p *sim.Proc, rng *sim.RNG, transactions int) {
+	for i := 0; i < transactions; i++ {
+		for g := 0; g < 4; g++ {
+			r.Get(p, rng.Intn(r.Index.Keys()))
+		}
+		r.Put(p, rng.Intn(r.Index.Keys()))
+	}
+}
+
+// Close stops the server loop.
+func (r *RemoteKV) Close(p *sim.Proc) {
+	r.QP.Send(p, 8, &kvReq{close: true})
+}
+
+// CloseServer stops a DataServer reached over qp (for clients that use
+// the raw pair, like PageRankQPair).
+func CloseServer(p *sim.Proc, qp *transport.QPair) {
+	qp.Send(p, 8, &kvReq{close: true})
+}

@@ -1,0 +1,238 @@
+package workloads
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// PageRank runs iters iterations of pull-style PageRank over the placed
+// graph, charging edge streaming and random rank accesses through the
+// hierarchy, and returns the final ranks (real values — they sum to ~1).
+func PageRank(p *sim.Proc, h *memsys.Hierarchy, g *Graph, iters int) []float64 {
+	const damping = 0.85
+	rank := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for i := range rank {
+		rank[i] = 1.0 / float64(g.N)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(g.N)
+		for u := 0; u < g.N; u++ {
+			g.readRow(p, h, u)
+			adj := g.readAdj(p, h, u)
+			sum := 0.0
+			for _, v := range adj {
+				// Random read of the in-neighbor's rank.
+				h.Read(p, g.dataAddr(v), 8)
+				d := g.Deg[v]
+				if d == 0 {
+					d = 1
+				}
+				sum += rank[v] / float64(d)
+			}
+			h.Compute(p, int64(len(adj))*opsPerEdge+opsPerVertex)
+			next[u] = base + damping*sum
+			// Sequential write of the new rank.
+			h.Write(p, g.dataAddr(int32(u)), 8)
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// PageRankQPair runs the same computation with the edge array fetched
+// from a remote data server over the QPair channel. window is the number
+// of outstanding adjacency fetches: 1 reproduces the synchronous legacy
+// style; the paper's asynchronous rewrite (Scale-out NUMA style)
+// pipelines many (§4.2.1: PageRank's "massive parallelism can be
+// exploited to initiate multiple streams of communication").
+func PageRankQPair(p *sim.Proc, h *memsys.Hierarchy, g *Graph, qp *transport.QPair,
+	iters, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	const damping = 0.85
+	rank := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for i := range rank {
+		rank[i] = 1.0 / float64(g.N)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(g.N)
+		inflight := 0
+		u := 0
+		issue := func(v int) {
+			qp.Send(p, 16, &kvReq{addr: g.edgeAddr(g.Row[v]), size: len(g.Adj(v)) * 4})
+			inflight++
+		}
+		complete := func(v int) {
+			qp.Recv(p) // adjacency bytes arrive
+			inflight--
+			adj := g.Adj(v)
+			sum := 0.0
+			for _, w := range adj {
+				h.Read(p, g.dataAddr(w), 8)
+				d := g.Deg[w]
+				if d == 0 {
+					d = 1
+				}
+				sum += rank[w] / float64(d)
+			}
+			h.Compute(p, int64(len(adj))*opsPerEdge+opsPerVertex)
+			next[v] = base + damping*sum
+			h.Write(p, g.dataAddr(int32(v)), 8)
+		}
+		head := 0
+		for u < g.N || inflight > 0 {
+			for u < g.N && inflight < window {
+				issue(u)
+				u++
+			}
+			complete(head)
+			head++
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// ConnectedComponents runs label propagation until a fixed point,
+// charging streaming edge reads and random label accesses, and returns
+// the labels (real values). The access pattern is the contiguous-scan
+// shape the paper attributes to Spark CC.
+func ConnectedComponents(p *sim.Proc, h *memsys.Hierarchy, g *Graph) []int32 {
+	labels, _ := ccRun(p, h, g, -1)
+	return labels
+}
+
+// CCPasses runs exactly passes label-propagation sweeps — for controlled
+// cross-channel comparisons where a convergence-dependent pass count
+// would confound the measurement.
+func CCPasses(p *sim.Proc, h *memsys.Hierarchy, g *Graph, passes int) []int32 {
+	labels, _ := ccRun(p, h, g, passes)
+	return labels
+}
+
+func ccRun(p *sim.Proc, h *memsys.Hierarchy, g *Graph, maxPasses int) ([]int32, int) {
+	labels := make([]int32, g.N)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	passes := 0
+	for changed := true; changed && (maxPasses < 0 || passes < maxPasses); {
+		changed = false
+		passes++
+		for u := 0; u < g.N; u++ {
+			g.readRow(p, h, u)
+			adj := g.readAdj(p, h, u)
+			best := labels[u]
+			for _, v := range adj {
+				h.Read(p, g.dataAddr(v), 8)
+				if labels[v] < best {
+					best = labels[v]
+				}
+			}
+			h.Compute(p, int64(len(adj))*opsPerEdge+opsPerVertex)
+			if best != labels[u] {
+				labels[u] = best
+				h.Write(p, g.dataAddr(int32(u)), 8)
+				changed = true
+			}
+		}
+	}
+	return labels, passes
+}
+
+// BFS runs a Graph500-style breadth-first search from root and returns
+// the parent array and the number of visited vertices.
+func BFS(p *sim.Proc, h *memsys.Hierarchy, g *Graph, root int) ([]int32, int) {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = int32(root)
+	frontier := []int32{int32(root)}
+	visited := 1
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			g.readRow(p, h, int(u))
+			adj := g.readAdj(p, h, int(u))
+			for _, v := range adj {
+				// Random parent check + conditional write.
+				h.Read(p, g.dataAddr(v), 8)
+				if parent[v] == -1 {
+					parent[v] = u
+					h.Write(p, g.dataAddr(v), 8)
+					next = append(next, v)
+					visited++
+				}
+			}
+			h.Compute(p, int64(len(adj))*opsPerEdge+opsPerVertex)
+		}
+		frontier = next
+	}
+	return parent, visited
+}
+
+// Grep streams a text region of size bytes, counting real occurrences of
+// pattern in deterministic synthetic text — the Hadoop-Grep shape: pure
+// sequential reads with modest per-byte compute.
+func Grep(p *sim.Proc, h *memsys.Hierarchy, base uint64, text []byte, pattern []byte) int {
+	count := 0
+	const chunk = 4096
+	for off := 0; off < len(text); off += chunk {
+		end := off + chunk
+		if end > len(text) {
+			end = len(text)
+		}
+		h.Read(p, base+uint64(off), end-off)
+		h.Compute(p, int64(end-off)*opsPerGrepByte)
+		// Real match counting on the real bytes (overlap across chunk
+		// boundaries handled by rescanning the seam).
+		start := off - len(pattern) + 1
+		if start < 0 {
+			start = 0
+		}
+		count += countMatches(text[start:end], pattern)
+		if off > 0 {
+			count -= countMatches(text[start:off], pattern)
+		}
+	}
+	return count
+}
+
+// countMatches counts (possibly overlapping) occurrences of pat in s.
+func countMatches(s, pat []byte) int {
+	if len(pat) == 0 || len(s) < len(pat) {
+		return 0
+	}
+	n := 0
+	for i := 0; i+len(pat) <= len(s); i++ {
+		match := true
+		for j := range pat {
+			if s[i+j] != pat[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			n++
+		}
+	}
+	return n
+}
+
+// SynthText builds deterministic pseudo-text with a known pattern
+// density for Grep runs.
+func SynthText(rng *sim.RNG, size int, pattern []byte, every int) []byte {
+	text := make([]byte, size)
+	for i := range text {
+		text[i] = byte('a' + rng.Intn(26))
+	}
+	for i := 0; i+len(pattern) < size; i += every {
+		copy(text[i:], pattern)
+	}
+	return text
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Property: the B-tree agrees with a map model under any random
+// sequence of puts and gets.
+func TestBTreeMatchesMapModelProperty(t *testing.T) {
+	prop := func(seed uint64, opCount uint8) bool {
+		n := int(opCount%50) + 10
+		rng := sim.NewRNG(seed)
+		r := propWrig(t)
+		defer r.eng.Close()
+		ok := true
+		r.local.Run("model", func(p *sim.Proc) {
+			const keys = 500
+			kv := BuildBTree(p, r.local.Mem,
+				NewArena(0, 16<<20), NewArena(16<<20, 16<<20), keys, 64, 8)
+			model := make(map[int]uint64)
+			for i := 0; i < n; i++ {
+				k := rng.Intn(keys)
+				if rng.Bool(0.5) {
+					v := rng.Uint64()
+					kv.Put(p, k, v)
+					model[k] = v
+				} else if kv.Get(p, k) != model[k] {
+					ok = false
+				}
+			}
+		})
+		r.eng.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// propWrig builds a rig whose engine the caller closes explicitly
+// (quick.Check runs many iterations; t.Cleanup would accumulate).
+func propWrig(t *testing.T) *wrig {
+	t.Helper()
+	eng := sim.New()
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Pair(), sim.NewRNG(11))
+	return &wrig{
+		eng:   eng,
+		p:     p,
+		local: node.New(eng, &p, net, 0, 1<<30),
+		donor: node.New(eng, &p, net, 1, 1<<30),
+	}
+}
+
+// Property: graph generators are deterministic — same seed, same graph.
+func TestGraphGeneratorDeterminismProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		a := GenRMAT(sim.NewRNG(seed), 8, 4)
+		b := GenRMAT(sim.NewRNG(seed), 8, 4)
+		if a.N != b.N || len(a.Dst) != len(b.Dst) {
+			return false
+		}
+		for i := range a.Dst {
+			if a.Dst[i] != b.Dst[i] {
+				return false
+			}
+		}
+		u := GenUniform(sim.NewRNG(seed), 200, 4)
+		v := GenUniform(sim.NewRNG(seed), 200, 4)
+		for i := range u.Dst {
+			if u.Dst[i] != v.Dst[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every BFS parent edge exists in the graph, and the parent
+// relation contains no cycles except the root's self-loop.
+func TestBFSParentValidityProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g := GenRMAT(sim.NewRNG(seed), 8, 6)
+		r := propWrig(t)
+		defer r.eng.Close()
+		root := 0
+		for u := range g.Deg {
+			if g.Deg[u] > g.Deg[root] {
+				root = u
+			}
+		}
+		g.Place(NewArena(0, 4<<20), NewArena(4<<20, 8<<20), NewArena(16<<20, 4<<20))
+		valid := true
+		r.local.Run("bfs", func(p *sim.Proc) {
+			parent, _ := BFS(p, r.local.Mem, g, root)
+			for v, pa := range parent {
+				if pa < 0 || v == root {
+					continue
+				}
+				// The edge (pa -> v) must exist.
+				found := false
+				for _, w := range g.Adj(int(pa)) {
+					if int(w) == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					valid = false
+				}
+			}
+			// Walking parents from any visited vertex reaches the root.
+			for v := range parent {
+				if parent[v] < 0 {
+					continue
+				}
+				cur, steps := v, 0
+				for cur != root {
+					cur = int(parent[cur])
+					steps++
+					if steps > g.N {
+						valid = false
+						break
+					}
+				}
+			}
+		})
+		r.eng.Run()
+		return valid
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PageRank over the QPair channel produces identical ranks
+// for any window size — pipelining must not change results.
+func TestPageRankWindowInvarianceProperty(t *testing.T) {
+	prop := func(w uint8) bool {
+		window := int(w%24) + 1
+		r := propWrig(t)
+		defer r.eng.Close()
+		g := GenUniform(sim.NewRNG(7), 300, 4)
+		g.Place(NewArena(0, 2<<20), NewArena(0x1000_0000, 8<<20), NewArena(4<<20, 2<<20))
+		qa, qb := newTestQPair(r)
+		ServeKV(r.eng, "srv", &DataServer{H: r.donor.Mem, QP: qb})
+		var viaQP []float64
+		r.local.Run("pr", func(p *sim.Proc) {
+			viaQP = PageRankQPair(p, r.local.Mem, g, qa, 1, window)
+			CloseServer(p, qa)
+		})
+		r.eng.Run()
+		// Reference: plain local PageRank on a fresh rig.
+		ref := propWrig(t)
+		defer ref.eng.Close()
+		g2 := GenUniform(sim.NewRNG(7), 300, 4)
+		g2.Place(NewArena(0, 2<<20), NewArena(4<<20, 8<<20), NewArena(16<<20, 2<<20))
+		var local []float64
+		ref.local.Run("pr", func(p *sim.Proc) {
+			local = PageRank(p, ref.local.Mem, g2, 1)
+		})
+		ref.eng.Run()
+		for i := range local {
+			if local[i] != viaQP[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: grep's match count equals the brute-force count for random
+// pattern densities.
+func TestGrepCountProperty(t *testing.T) {
+	prop := func(seed uint64, everyRaw uint8) bool {
+		every := int(everyRaw)%200 + 16
+		rng := sim.NewRNG(seed)
+		pattern := []byte("ab")
+		text := SynthText(rng, 1<<16, pattern, every)
+		want := countMatches(text, pattern)
+		r := propWrig(t)
+		defer r.eng.Close()
+		got := -1
+		r.local.Run("grep", func(p *sim.Proc) {
+			got = Grep(p, r.local.Mem, 0, text, pattern)
+		})
+		r.eng.Run()
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// newTestQPair wires an unthrottled queue pair between the rig's nodes.
+func newTestQPair(r *wrig) (*transport.QPair, *transport.QPair) {
+	return transport.ConnectQPair(r.local.EP, r.donor.EP, transport.QPairConfig{})
+}
+
+func TestRedisCacheLRUAndCapacity(t *testing.T) {
+	r := newWrig(t)
+	cache := NewRedisCache(r.local.Mem, 4096, NewArena(0, 16*4096))
+	if cache.CapacityEntries() != 16 {
+		t.Fatalf("capacity = %d", cache.CapacityEntries())
+	}
+	r.local.Run("cache", func(p *sim.Proc) {
+		for k := 0; k < 20; k++ {
+			cache.Set(p, k, uint64(k))
+		}
+		if cache.Len() != 16 {
+			t.Errorf("len = %d, want 16 after eviction", cache.Len())
+		}
+		// Keys 0-3 were evicted; 4-19 resident.
+		if _, ok := cache.Get(p, 0); ok {
+			t.Error("key 0 should have been evicted")
+		}
+		if v, ok := cache.Get(p, 19); !ok || v != 19 {
+			t.Errorf("key 19: %v %v", v, ok)
+		}
+		// Touch key 4 then insert: key 5 becomes the LRU victim.
+		if _, ok := cache.Get(p, 4); !ok {
+			t.Error("key 4 missing")
+		}
+		cache.Set(p, 100, 100)
+		if _, ok := cache.Get(p, 5); ok {
+			t.Error("key 5 should have been evicted after key 4 was touched")
+		}
+	})
+	r.eng.Run()
+}
+
+func TestTierDBMissRateFallsWithCapacity(t *testing.T) {
+	run := func(entries int) (missRatio float64, elapsed sim.Dur) {
+		r := newWrig(t)
+		cache := NewRedisCache(r.local.Mem, 4096, NewArena(0, uint64(entries)*4096))
+		db := &TierDB{
+			Redis:          cache,
+			MySQL:          &MySQLModel{QueryTime: 10 * sim.Millisecond},
+			ClientOverhead: 100 * sim.Microsecond,
+		}
+		r.local.Run("queries", func(p *sim.Proc) {
+			// Warm the cache first, as the paper does ("measured after
+			// proper initialization and warmup"), then measure.
+			db.RunQueries(p, sim.NewRNG(99), 1000, 2000)
+			h0, m0 := cache.Hits, cache.Misses
+			elapsed = db.RunQueries(p, sim.NewRNG(6), 1000, 3000)
+			hits, misses := cache.Hits-h0, cache.Misses-m0
+			missRatio = float64(misses) / float64(hits+misses)
+		})
+		r.eng.Run()
+		return missRatio, elapsed
+	}
+	smallMiss, smallT := run(100) // 10% of keyspace
+	bigMiss, bigT := run(950)     // 95% of keyspace
+	if bigMiss >= smallMiss {
+		t.Fatalf("miss ratio did not fall: %.2f -> %.2f", smallMiss, bigMiss)
+	}
+	if bigT >= smallT {
+		t.Fatalf("more cache did not speed queries: %v -> %v", smallT, bigT)
+	}
+	// With 95% coverage the steady-state miss rate approaches 5%.
+	if bigMiss > 0.25 {
+		t.Fatalf("big-cache miss ratio %.2f too high", bigMiss)
+	}
+}
+
+func TestTierDBReturnsAuthoritativeValues(t *testing.T) {
+	r := newWrig(t)
+	cache := NewRedisCache(r.local.Mem, 4096, NewArena(0, 64*4096))
+	db := &TierDB{Redis: cache, MySQL: &MySQLModel{QueryTime: sim.Millisecond}}
+	r.local.Run("verify", func(p *sim.Proc) {
+		// First access misses, second hits; both must return the same value.
+		a := db.Query(p, 7)
+		b := db.Query(p, 7)
+		if a != b || a != mysqlValue(7) {
+			t.Errorf("values: %x %x want %x", a, b, mysqlValue(7))
+		}
+	})
+	r.eng.Run()
+	if cache.Hits != 1 || cache.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", cache.Hits, cache.Misses)
+	}
+	if db.MySQL.Queries != 1 {
+		t.Fatalf("mysql queries = %d", db.MySQL.Queries)
+	}
+}
+
+func TestRedisGrowsWithAddedArena(t *testing.T) {
+	r := newWrig(t)
+	cache := NewRedisCache(r.local.Mem, 4096, NewArena(0, 8*4096))
+	cache.AddArena(NewArena(1<<20, 8*4096))
+	if cache.CapacityEntries() != 16 {
+		t.Fatalf("capacity after growth = %d", cache.CapacityEntries())
+	}
+}
+
+func TestIperfQPairThroughput(t *testing.T) {
+	r := newWrig(t)
+	qa, qb := newTestQPair(r)
+	IperfQPairSink(r.eng, qb)
+	var rep IperfReport
+	r.local.Run("iperf", func(p *sim.Proc) {
+		rep = IperfQPair(p, qa, 256, 500)
+	})
+	r.eng.Run()
+	if rep.Packets != 500 || rep.Bytes != 500*256 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.MBps() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestIperfChannelOrderingMatchesFig17(t *testing.T) {
+	// Message passing: QPair must beat CRMA emulation, which must beat
+	// per-message RDMA (Fig. 17 right group).
+	r := newWrig(t)
+	qa, qb := newTestQPair(r)
+	IperfQPairSink(r.eng, qb)
+	win := r.local.NextHotplugWindow(1 << 20)
+	if _, err := r.local.EP.CRMA.Map(win, 1<<20, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.donor.EP.CRMA.Export(0, win, 1<<20, 0)
+
+	var qpT, crmaT, rdmaT sim.Dur
+	r.local.Run("iperf3", func(p *sim.Proc) {
+		t0 := p.Now()
+		IperfQPair(p, qa, 256, 300)
+		qpT = p.Now().Sub(t0)
+		t1 := p.Now()
+		IperfCRMA(p, r.local.EP.CRMA, win, r.p.CacheLine, 256, 300)
+		crmaT = p.Now().Sub(t1)
+		t2 := p.Now()
+		IperfRDMA(p, r.local.EP.RDMA, 1, 0x100000, 256, 300)
+		rdmaT = p.Now().Sub(t2)
+	})
+	r.eng.Run()
+	if !(qpT < crmaT && crmaT < rdmaT) {
+		t.Fatalf("ordering wrong: qpair=%v crma=%v rdma=%v", qpT, crmaT, rdmaT)
+	}
+}
