@@ -1,52 +1,70 @@
 // Command venice-bench regenerates the paper's tables and figures from
-// the simulator. With no arguments it runs everything; otherwise pass
-// experiment ids (fig3 fig5 fig6 fig14 fig15 fig16a fig16b fig17 fig18
-// table1 cost validation).
+// the simulator through the trial harness. With no arguments it runs
+// every registered experiment in paper order; otherwise pass experiment
+// ids (see -list).
+//
+// Usage:
+//
+//	venice-bench [-list] [-parallel N] [-json out.json] [id ...]
+//
+// Every experiment is decomposed into independent deterministic trials
+// executed on a bounded worker pool, so -parallel N produces
+// byte-identical tables for any N; only the wall-clock changes.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
-var runners = map[string]func() string{
-	"fig3":       func() string { return experiments.Fig3().Table.String() },
-	"fig5":       func() string { return experiments.Fig5().Table.String() },
-	"fig6":       func() string { return experiments.Fig6().Table.String() },
-	"fig14":      func() string { return experiments.Fig14().Table.String() },
-	"fig15":      func() string { return experiments.Fig15().Table.String() },
-	"fig16a":     func() string { return experiments.Fig16a().Table.String() },
-	"fig16b":     func() string { return experiments.Fig16b().Table.String() },
-	"fig17":      func() string { return experiments.Fig17().Table.String() },
-	"fig18":      func() string { return experiments.Fig18().Table.String() },
-	"table1":     func() string { return experiments.Table1().String() },
-	"cost":       func() string { return experiments.CostTable().String() },
-	"validation": func() string { return experiments.Validation().Table.String() },
-}
-
-// order keeps output deterministic and paper-ordered.
-var order = []string{
-	"table1", "fig3", "fig5", "fig6", "fig14", "fig15",
-	"fig16a", "fig16b", "fig17", "fig18", "cost", "validation",
-}
+var _ = experiments.Table1 // the import's side effect is spec registration
 
 func main() {
-	ids := os.Args[1:]
-	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
-		ids = order
+	list := flag.Bool("list", false, "list registered experiment ids and exit")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write per-trial results and timing metadata to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: venice-bench [-list] [-parallel N] [-json out.json] [id ...]\n")
+		flag.PrintDefaults()
 	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.IDs() {
+			spec, _ := harness.Lookup(id)
+			fmt.Printf("%-21s %s (%d trials)\n", id, spec.Title, len(spec.Trials))
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = harness.IDs()
+	}
+	opts := harness.Options{Parallel: *parallel}
+	var results []*harness.Result
+	start := time.Now()
 	for _, id := range ids {
-		run, ok := runners[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "venice-bench: unknown experiment %q\navailable: %v\n", id, order)
+		art, res, err := harness.RunID(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "venice-bench: %v\n", err)
 			os.Exit(2)
 		}
-		start := time.Now()
-		out := run()
-		fmt.Println(out)
-		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		results = append(results, res)
+		fmt.Println(art.String())
+		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Duration(res.WallMS*1e6).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		rep := harness.NewReport(opts.Parallel, float64(time.Since(start))/1e6, results)
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "venice-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -3,7 +3,11 @@ package experiments
 import "testing"
 
 func TestAblationMSHRHelpsStreaming(t *testing.T) {
-	r := AblationMSHR()
+	points := ablationMSHRs
+	if testing.Short() {
+		points = ablationMSHRsShort
+	}
+	r := AblationMSHROf(points...)
 	// More MSHRs monotonically (weakly) help the contiguous sweep, and
 	// going from a blocking core (1) to even modest MLP is a real win.
 	for i := 1; i < len(r.MSHRs); i++ {

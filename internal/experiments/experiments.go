@@ -1,8 +1,11 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation: each FigN function builds the required system from
-// scratch, runs the workloads, and returns the same rows/series the
-// paper reports, formatted for terminal output. Absolute values come
-// from our calibrated simulator rather than the authors' FPGA testbed;
+// evaluation. Each experiment is decomposed into independent trials —
+// one per configuration × workload cell, each building its own
+// simulator from an explicit seed — registered with internal/harness
+// and executed on its worker pool; the assembly functions fold the
+// per-trial measurements back into the same rows/series the paper
+// reports, formatted for terminal output. Absolute values come from our
+// calibrated simulator rather than the authors' FPGA testbed;
 // EXPERIMENTS.md records paper-vs-measured for each.
 package experiments
 
@@ -11,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/fabric"
+	"repro/internal/harness"
 	"repro/internal/node"
 	"repro/internal/sim"
 )
@@ -98,3 +102,28 @@ func (r *pairRig) run(name string, fn func(p *sim.Proc)) {
 
 // close releases the rig.
 func (r *pairRig) close() { r.Eng.Close() }
+
+// durTrial adapts a virtual-duration measurement into a harness trial
+// body: the duration is carried as exact nanoseconds.
+func durTrial(f func(seed uint64) sim.Dur) func(uint64) (harness.Values, error) {
+	return func(seed uint64) (harness.Values, error) {
+		return harness.Values{"ns": float64(f(seed))}, nil
+	}
+}
+
+// trialDur reads a duration metric back out of an executed trial.
+func trialDur(r *harness.Result, trial string) sim.Dur {
+	return sim.Dur(int64(r.Val(trial, "ns")))
+}
+
+// runSpec executes a spec on the default worker pool and returns its
+// assembled artifact; experiment entry points wrap it with a type
+// assertion. Trial failures are programming errors here (the specs ship
+// with the package), so they panic rather than burden every caller.
+func runSpec(id string, spec harness.Spec) harness.Artifact {
+	art, _, err := harness.Run(id, spec, harness.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return art
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/harness"
 )
 
 // The experiment tests assert the paper's qualitative findings — rank
@@ -87,7 +89,15 @@ func TestFig5ConfigOrdering(t *testing.T) {
 }
 
 func TestFig6RouterOverhead(t *testing.T) {
-	r := Fig6()
+	configs := fig5Configs
+	if testing.Short() {
+		configs = fig6ConfigsShort
+	}
+	r := Fig6Of(configs...)
+	idx := map[string]int{}
+	for i, c := range r.Configs {
+		idx[c] = i
+	}
 	// The router hurts every configuration...
 	for i, c := range r.Configs {
 		if c == "async on-chip qpair" {
@@ -101,19 +111,23 @@ func TestFig6RouterOverhead(t *testing.T) {
 	// ...and hits the highest-performing (on-chip CRMA) configuration
 	// hardest ("the impact of additional router delay is greater for
 	// higher-performing configurations"), with >20% on CRMA round trips.
-	last := len(r.Configs) - 1 // on-chip crma
-	if r.PageRank[last] < 10 {
-		t.Fatalf("on-chip CRMA PageRank router overhead %.1f%%, paper reports >20%%", r.PageRank[last])
+	crma := idx["on-chip crma"]
+	if r.PageRank[crma] < 10 {
+		t.Fatalf("on-chip CRMA PageRank router overhead %.1f%%, paper reports >20%%", r.PageRank[crma])
 	}
-	if r.PageRank[2] > r.PageRank[last] {
+	if r.PageRank[idx["async on-chip qpair"]] > r.PageRank[crma] {
 		t.Fatalf("async QPair overhead (%v%%) should be below on-chip CRMA (%v%%)",
-			r.PageRank[2], r.PageRank[last])
+			r.PageRank[idx["async on-chip qpair"]], r.PageRank[crma])
 	}
 	t.Logf("\n%s", r.Table.String())
 }
 
 func TestFig15ModalityCrossover(t *testing.T) {
-	r := Fig15()
+	workloads := fig15Workloads
+	if testing.Short() {
+		workloads = fig15WorkloadsShort
+	}
+	r := Fig15Of(workloads...)
 	byName := map[string]int{}
 	for i, w := range r.Workloads {
 		byName[w] = i
@@ -226,6 +240,25 @@ func TestValidationPrototypeSlowerThanXeon(t *testing.T) {
 		}
 	}
 	t.Logf("\n%s", r.Table.String())
+}
+
+// TestParallelismByteIdentical is the harness's core contract applied
+// to real experiments: any worker count renders the same bytes.
+func TestParallelismByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig18", "ablation-window"} {
+		sequential, _, err := harness.RunID(id, harness.Options{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, _, err := harness.RunID(id, harness.Options{Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sequential.String() != parallel.String() {
+			t.Fatalf("%s renders differently under -parallel 4:\n%s\nvs\n%s",
+				id, sequential, parallel)
+		}
+	}
 }
 
 func TestTablesRender(t *testing.T) {

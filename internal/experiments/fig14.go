@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -26,9 +27,9 @@ type Fig14Result struct {
 
 // fig14Run measures one point of the sweep: steps memory increments,
 // remote selects borrowed (CRMA) or local storage arenas.
-func fig14Run(steps int, remote bool) (sim.Dur, float64) {
+func fig14Run(steps int, remote bool, seed uint64) (sim.Dur, float64) {
 	p := sim.Default()
-	c := core.NewCluster(core.Config{Params: &p, StartAgents: true, Seed: 14,
+	c := core.NewCluster(core.Config{Params: &p, StartAgents: true, Seed: seed,
 		HeartbeatInterval: 30 * sim.Second})
 	defer c.Close()
 	c.RunFor(1 * sim.Second) // populate the RRT
@@ -79,9 +80,51 @@ func fig14Run(steps int, remote bool) (sim.Dur, float64) {
 	return elapsed, missRatio
 }
 
-// Fig14 sweeps cache memory from one to fig14Steps steps for both the
-// local and remote configurations, and measures the donor-side impact.
-func Fig14() *Fig14Result {
+// Seeds for the sweep cluster and the donor-impact rig, unchanged from
+// the sequential code.
+const (
+	fig14SeedCluster = 14
+	fig14SeedDonor   = 15
+)
+
+// fig14Spec decomposes the sweep into one trial per memory-size ×
+// placement cell plus the two donor-impact runs.
+func fig14Spec() harness.Spec {
+	var trials []harness.Trial
+	for s := 1; s <= fig14Steps; s++ {
+		for _, remote := range []bool{false, true} {
+			placement := "local"
+			if remote {
+				placement = "remote"
+			}
+			trials = append(trials, harness.Trial{
+				ID: fmt.Sprintf("%s/%d", placement, s), Seed: fig14SeedCluster,
+				Run: func(seed uint64) (harness.Values, error) {
+					d, miss := fig14Run(s, remote, seed)
+					return harness.Values{"ns": float64(d), "miss": miss}, nil
+				},
+			})
+		}
+	}
+	for _, traffic := range []bool{false, true} {
+		id := "donor/solo"
+		if traffic {
+			id = "donor/traffic"
+		}
+		trials = append(trials, harness.Trial{
+			ID: id, Seed: fig14SeedDonor,
+			Run: durTrial(func(seed uint64) sim.Dur { return fig14Donor(traffic, seed) }),
+		})
+	}
+	return harness.Spec{
+		Title:    "Fig. 14 — mini data-center Redis memory sweep",
+		Trials:   trials,
+		Assemble: assembleFig14,
+	}
+}
+
+// assembleFig14 folds the sweep cells back into the sweep table.
+func assembleFig14(r *harness.Result) (harness.Artifact, error) {
 	res := &Fig14Result{
 		StepBytes: uint64(fig14StepBytes),
 		Table: Table{
@@ -90,8 +133,10 @@ func Fig14() *Fig14Result {
 		},
 	}
 	for s := 1; s <= fig14Steps; s++ {
-		lt, lm := fig14Run(s, false)
-		rt, rm := fig14Run(s, true)
+		lt := trialDur(r, fmt.Sprintf("local/%d", s))
+		lm := r.Val(fmt.Sprintf("local/%d", s), "miss")
+		rt := trialDur(r, fmt.Sprintf("remote/%d", s))
+		rm := r.Val(fmt.Sprintf("remote/%d", s), "miss")
 		res.Sizes = append(res.Sizes, uint64(s)*uint64(fig14StepBytes))
 		res.LocalTime = append(res.LocalTime, lt)
 		res.RemoteTime = append(res.RemoteTime, rt)
@@ -100,18 +145,28 @@ func Fig14() *Fig14Result {
 		res.Table.AddRow(fmt.Sprintf("%dMB-equiv", s*70), lt.String(), rt.String(),
 			pct(lm*100), pct(rm*100))
 	}
-	res.DonorImpact = fig14DonorImpact()
+	solo := trialDur(r, "donor/solo")
+	shared := trialDur(r, "donor/traffic")
+	res.DonorImpact = 100 * (float64(shared) - float64(solo)) / float64(solo)
 	res.Table.AddRow("donor CC impact", pct(res.DonorImpact), "", "", "")
-	return res
+	return res, nil
 }
 
-// fig14DonorImpact measures how much serving remote memory slows a
-// donor's own Connected Components job (§7.1 reports the impact is
-// negligible because the sharing traffic is insignificant).
-func fig14DonorImpact() float64 {
+// String renders the figure's table.
+func (r *Fig14Result) String() string { return r.Table.String() }
+
+// Fig14 sweeps cache memory from one to fig14Steps steps for both the
+// local and remote configurations, and measures the donor-side impact.
+func Fig14() *Fig14Result { return runSpec("fig14", fig14Spec()).(*Fig14Result) }
+
+// fig14Donor measures a donor's own Connected Components job with or
+// without a recipient hammering borrowed memory (§7.1 reports the
+// serving impact is negligible because the sharing traffic is
+// insignificant).
+func fig14Donor(withTraffic bool, seed uint64) sim.Dur {
 	run := func(withTraffic bool) sim.Dur {
 		p := sim.Default()
-		rig := newPair(&p, 15)
+		rig := newPair(&p, seed)
 		defer rig.close()
 		// Donor runs CC on its own memory.
 		g := workloads.GenUniform(sim.NewRNG(5), 20000, 8)
@@ -139,7 +194,5 @@ func fig14DonorImpact() float64 {
 		rig.Eng.Run()
 		return ccTime
 	}
-	solo := run(false)
-	shared := run(true)
-	return 100 * (float64(shared) - float64(solo)) / float64(solo)
+	return run(withTraffic)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/harness"
 	"repro/internal/memsys"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -78,16 +79,21 @@ func initRegion(pr *sim.Proc, rig *pairRig, base, size uint64) {
 
 // fig15Workload runs one workload over a data range of the given mode
 // and returns its measured time.
-func fig15Workload(name string, mode fig15Mode) sim.Dur {
+func fig15Workload(name string, mode fig15Mode, seed uint64) sim.Dur {
 	p := sim.Default()
 	// The prototype's Linux swap path on the 667 MHz A9 is far heavier
 	// than the x86 default used elsewhere; calibrated against the
 	// paper's Fig. 15 RDMA-vs-local-swap gap (§6 of DESIGN.md).
 	p.PageFaultSW = 400 * sim.Microsecond
-	rig := newPair(&p, 66)
+	rig := newPair(&p, seed)
 	defer rig.close()
 	var elapsed sim.Dur
 	switch name {
+	default:
+		// An unmatched name would otherwise measure 0ns and poison the
+		// normalization with NaN; the executor turns this into a trial
+		// error.
+		panic("fig15: unknown workload " + name)
 	case "inmem-db":
 		size := uint64(bdbKeysFig15*(bdbRecordSize+2*entryBytesScaled)) + (1 << 20)
 		base := fig15Region(rig, mode, size)
@@ -150,29 +156,87 @@ func fig15Workload(name string, mode fig15Mode) sim.Dur {
 	return elapsed
 }
 
-// Fig15 runs all four workloads under all four modes, reporting
-// performance (1/time) normalized to the local-swap baseline.
-func Fig15() *Fig15Result {
-	names := []string{"inmem-db", "cc", "grep", "graph500"}
-	paperLocal := []string{"403.8", "1.13", "2.48", "6.90"}
-	paperCRMA := []string{"159.0", "0.65", "1.07", "4.86"}
-	paperRDMA := []string{"3.30", "1.10", "2.07", "3.22"}
+// fig15Workloads is the figure's full workload matrix; fig15Paper holds
+// the paper's reported values per workload (all-local, crma, rdma).
+var (
+	fig15Workloads = []string{"inmem-db", "cc", "grep", "graph500"}
+	fig15Paper     = map[string][3]string{
+		"inmem-db": {"403.8", "159.0", "3.30"},
+		"cc":       {"1.13", "0.65", "1.10"},
+		"grep":     {"2.48", "1.07", "2.07"},
+		"graph500": {"6.90", "4.86", "3.22"},
+	}
+)
+
+// fig15ModeNames label the four memory configurations in trial ids.
+var fig15ModeNames = map[fig15Mode]string{
+	modeLocalSwap: "local-swap",
+	modeAllLocal:  "all-local",
+	modeCRMA:      "crma",
+	modeRDMASwap:  "rdma-swap",
+}
+
+// fig15Seed keeps every cell on the sequential code's rig stream.
+const fig15Seed = 66
+
+// fig15Spec decomposes the figure into one trial per workload × mode
+// cell, over a selectable workload subset (the short-mode matrix).
+func fig15Spec(workloads []string) harness.Spec {
+	var trials []harness.Trial
+	for _, n := range workloads {
+		for _, mode := range []fig15Mode{modeLocalSwap, modeAllLocal, modeCRMA, modeRDMASwap} {
+			trials = append(trials, harness.Trial{
+				ID: n + "/" + fig15ModeNames[mode], Seed: fig15Seed,
+				Run: durTrial(func(seed uint64) sim.Dur { return fig15Workload(n, mode, seed) }),
+			})
+		}
+	}
+	return harness.Spec{
+		Title:  "Fig. 15 — direct (CRMA) vs swap (RDMA) remote memory",
+		Trials: trials,
+		Assemble: func(r *harness.Result) (harness.Artifact, error) {
+			return assembleFig15(r, workloads)
+		},
+	}
+}
+
+// assembleFig15 normalizes each mode to the local-swap baseline.
+func assembleFig15(r *harness.Result, workloads []string) (harness.Artifact, error) {
 	res := &Fig15Result{
-		Workloads: names,
+		Workloads: workloads,
 		Table: Table{
 			Title:   "Fig. 15 — performance normalized to local-swap baseline (higher is better), 75% remote",
 			Columns: []string{"workload", "all-local", "paper", "crma", "paper", "rdma-swap", "paper"},
 		},
 	}
-	for i, n := range names {
-		baseline := fig15Workload(n, modeLocalSwap)
-		ideal := float64(baseline) / float64(fig15Workload(n, modeAllLocal))
-		crma := float64(baseline) / float64(fig15Workload(n, modeCRMA))
-		rdma := float64(baseline) / float64(fig15Workload(n, modeRDMASwap))
+	for _, n := range workloads {
+		baseline := fig15Workload2(r, n, modeLocalSwap)
+		ideal := float64(baseline) / float64(fig15Workload2(r, n, modeAllLocal))
+		crma := float64(baseline) / float64(fig15Workload2(r, n, modeCRMA))
+		rdma := float64(baseline) / float64(fig15Workload2(r, n, modeRDMASwap))
 		res.AllLocal = append(res.AllLocal, ideal)
 		res.CRMA = append(res.CRMA, crma)
 		res.RDMA = append(res.RDMA, rdma)
-		res.Table.AddRow(n, f2(ideal), paperLocal[i], f2(crma), paperCRMA[i], f2(rdma), paperRDMA[i])
+		paper := fig15Paper[n]
+		res.Table.AddRow(n, f2(ideal), paper[0], f2(crma), paper[1], f2(rdma), paper[2])
 	}
-	return res
+	return res, nil
+}
+
+// fig15Workload2 reads one cell's measured time back out of the result.
+func fig15Workload2(r *harness.Result, name string, mode fig15Mode) sim.Dur {
+	return trialDur(r, name+"/"+fig15ModeNames[mode])
+}
+
+// String renders the figure's table.
+func (r *Fig15Result) String() string { return r.Table.String() }
+
+// Fig15 runs all four workloads under all four modes, reporting
+// performance (1/time) normalized to the local-swap baseline.
+func Fig15() *Fig15Result { return Fig15Of(fig15Workloads...) }
+
+// Fig15Of runs the study over a subset of the workloads (the reduced
+// short-mode matrix keeps the random/contiguous crossover cells).
+func Fig15Of(workloads ...string) *Fig15Result {
+	return runSpec("fig15", fig15Spec(workloads)).(*Fig15Result)
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/fabric"
+	"repro/internal/harness"
 	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/vnic"
@@ -23,11 +24,11 @@ type Fig16aResult struct {
 }
 
 // fig16aRun measures the farm with k remote accelerators on a dataset.
-func fig16aRun(k, dataset int) sim.Dur {
+func fig16aRun(k, dataset int, seed uint64) sim.Dur {
 	p := sim.Default()
 	eng := sim.New()
 	defer eng.Close()
-	net := fabric.NewNetwork(eng, &p, fabric.Star(5), sim.NewRNG(16))
+	net := fabric.NewNetwork(eng, &p, fabric.Star(5), sim.NewRNG(seed))
 	host := node.New(eng, &p, net, 0, 4<<30)
 	xfft := accel.FFT{MBps: 180, Setup: 20 * sim.Microsecond}
 	local := accel.New(eng, &p, xfft)
@@ -51,8 +52,37 @@ func fig16aRun(k, dataset int) sim.Dur {
 	return elapsed
 }
 
-// Fig16a sweeps LA+1RA..LA+3RA for both dataset classes.
-func Fig16a() *Fig16aResult {
+// Seeds for the two farm studies' network streams, unchanged from the
+// sequential code.
+const (
+	fig16aSeed = 16
+	fig16bSeed = 17
+)
+
+// fig16aSpec decomposes the accelerator farm into one trial per
+// accelerator-count × dataset cell (k=0 is the local-only baseline).
+func fig16aSpec() harness.Spec {
+	var trials []harness.Trial
+	for k := 0; k <= 3; k++ {
+		for _, class := range []struct {
+			name  string
+			bytes int
+		}{{"small", fftSmallBytes}, {"large", fftLargeBytes}} {
+			trials = append(trials, harness.Trial{
+				ID: fmt.Sprintf("%dra/%s", k, class.name), Seed: fig16aSeed,
+				Run: durTrial(func(seed uint64) sim.Dur { return fig16aRun(k, class.bytes, seed) }),
+			})
+		}
+	}
+	return harness.Spec{
+		Title:    "Fig. 16a — FFT farm with remote accelerators",
+		Trials:   trials,
+		Assemble: assembleFig16a,
+	}
+}
+
+// assembleFig16a normalizes each farm size to the local accelerator.
+func assembleFig16a(r *harness.Result) (harness.Artifact, error) {
 	res := &Fig16aResult{
 		Remotes: []int{1, 2, 3},
 		Table: Table{
@@ -60,17 +90,23 @@ func Fig16a() *Fig16aResult {
 			Columns: []string{"config", "8MB-class", "512MB-class", "ideal"},
 		},
 	}
-	baseSmall := fig16aRun(0, fftSmallBytes)
-	baseLarge := fig16aRun(0, fftLargeBytes)
+	baseSmall := trialDur(r, "0ra/small")
+	baseLarge := trialDur(r, "0ra/large")
 	for _, k := range res.Remotes {
-		s := float64(baseSmall) / float64(fig16aRun(k, fftSmallBytes))
-		l := float64(baseLarge) / float64(fig16aRun(k, fftLargeBytes))
+		s := float64(baseSmall) / float64(trialDur(r, fmt.Sprintf("%dra/small", k)))
+		l := float64(baseLarge) / float64(trialDur(r, fmt.Sprintf("%dra/large", k)))
 		res.Small = append(res.Small, s)
 		res.Large = append(res.Large, l)
 		res.Table.AddRow(fmt.Sprintf("LA+%dRA", k), f2(s), f2(l), fmt.Sprintf("%d", k+1))
 	}
-	return res
+	return res, nil
 }
+
+// String renders the figure's table.
+func (r *Fig16aResult) String() string { return r.Table.String() }
+
+// Fig16a sweeps LA+1RA..LA+3RA for both dataset classes.
+func Fig16a() *Fig16aResult { return runSpec("fig16a", fig16aSpec()).(*Fig16aResult) }
 
 // Fig16bResult reproduces Fig. 16b: iperf throughput with a local NIC
 // plus 1-3 remote NICs, normalized to the local NIC alone, for tiny
@@ -83,11 +119,11 @@ type Fig16bResult struct {
 }
 
 // fig16bRun measures bonded throughput with k remote NICs.
-func fig16bRun(k, pktSize int) float64 {
+func fig16bRun(k, pktSize int, seed uint64) float64 {
 	p := sim.Default()
 	eng := sim.New()
 	defer eng.Close()
-	net := fabric.NewNetwork(eng, &p, fabric.Star(5), sim.NewRNG(17))
+	net := fabric.NewNetwork(eng, &p, fabric.Star(5), sim.NewRNG(seed))
 	host := node.New(eng, &p, net, 0, 1<<30)
 	local := vnic.NewNIC(eng, &p, "eth0")
 	slaves := []vnic.Slave{&vnic.LocalSlave{NIC: local}}
@@ -105,8 +141,32 @@ func fig16bRun(k, pktSize int) float64 {
 	return rep.MBps()
 }
 
-// Fig16b sweeps LN+1RN..LN+3RN for both packet sizes.
-func Fig16b() *Fig16bResult {
+// fig16bSpec decomposes the NIC bond into one trial per NIC-count ×
+// packet-size cell (k=0 is the local-only baseline).
+func fig16bSpec() harness.Spec {
+	var trials []harness.Trial
+	for k := 0; k <= 3; k++ {
+		for _, pkt := range []struct {
+			name string
+			size int
+		}{{"4B", iperfSmall}, {"256B", iperfBig}} {
+			trials = append(trials, harness.Trial{
+				ID: fmt.Sprintf("%drn/%s", k, pkt.name), Seed: fig16bSeed,
+				Run: func(seed uint64) (harness.Values, error) {
+					return harness.Values{"mbps": fig16bRun(k, pkt.size, seed)}, nil
+				},
+			})
+		}
+	}
+	return harness.Spec{
+		Title:    "Fig. 16b — iperf over bonded remote NICs",
+		Trials:   trials,
+		Assemble: assembleFig16b,
+	}
+}
+
+// assembleFig16b normalizes each bond size to the local NIC.
+func assembleFig16b(r *harness.Result) (harness.Artifact, error) {
 	res := &Fig16bResult{
 		Remotes: []int{1, 2, 3},
 		Table: Table{
@@ -114,16 +174,22 @@ func Fig16b() *Fig16bResult {
 			Columns: []string{"config", "4B pkts", "util", "256B pkts", "util"},
 		},
 	}
-	baseTiny := fig16bRun(0, iperfSmall)
-	baseNormal := fig16bRun(0, iperfBig)
+	baseTiny := r.Val("0rn/4B", "mbps")
+	baseNormal := r.Val("0rn/256B", "mbps")
 	for _, k := range res.Remotes {
-		ty := fig16bRun(k, iperfSmall) / baseTiny
-		no := fig16bRun(k, iperfBig) / baseNormal
+		ty := r.Val(fmt.Sprintf("%drn/4B", k), "mbps") / baseTiny
+		no := r.Val(fmt.Sprintf("%drn/256B", k), "mbps") / baseNormal
 		res.Tiny = append(res.Tiny, ty)
 		res.Normal = append(res.Normal, no)
 		ideal := float64(k + 1)
 		res.Table.AddRow(fmt.Sprintf("LN+%dRN", k), f2(ty), pct(100*ty/ideal),
 			f2(no), pct(100*no/ideal))
 	}
-	return res
+	return res, nil
 }
+
+// String renders the figure's table.
+func (r *Fig16bResult) String() string { return r.Table.String() }
+
+// Fig16b sweeps LN+1RN..LN+3RN for both packet sizes.
+func Fig16b() *Fig16bResult { return runSpec("fig16b", fig16bSpec()).(*Fig16bResult) }

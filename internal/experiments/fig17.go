@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/harness"
 	"repro/internal/memsys"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -20,9 +21,9 @@ type Fig17Result struct {
 }
 
 // fig17DB measures random record access over one channel.
-func fig17DB(channel transport.Channel) sim.Dur {
+func fig17DB(channel transport.Channel, seed uint64) sim.Dur {
 	p := sim.Default()
-	rig := newPair(&p, 71)
+	rig := newPair(&p, seed)
 	defer rig.close()
 	const keys = 60000
 	recBytes := uint64(keys * bdbRecordSize)
@@ -77,9 +78,9 @@ func fig17DB(channel transport.Channel) sim.Dur {
 }
 
 // fig17CC measures contiguous edge streaming over one channel.
-func fig17CC(channel transport.Channel) sim.Dur {
+func fig17CC(channel transport.Channel, seed uint64) sim.Dur {
 	p := sim.Default()
-	rig := newPair(&p, 72)
+	rig := newPair(&p, seed)
 	defer rig.close()
 	g := workloads.GenUniform(sim.NewRNG(3), 30000, 8)
 	edgeBytes := uint64(g.Edges()*4) + (4 << 20)
@@ -130,9 +131,9 @@ func fig17CC(channel transport.Channel) sim.Dur {
 }
 
 // fig17Iperf measures message passing over one channel.
-func fig17Iperf(channel transport.Channel) sim.Dur {
+func fig17Iperf(channel transport.Channel, seed uint64) sim.Dur {
 	p := sim.Default()
-	rig := newPair(&p, 73)
+	rig := newPair(&p, seed)
 	defer rig.close()
 	const msgSize, count = 256, 2000
 	var elapsed sim.Dur
@@ -163,29 +164,63 @@ func fig17Iperf(channel transport.Channel) sim.Dur {
 	return elapsed
 }
 
-// Fig17 runs the full matrix and normalizes each pattern to its best
-// channel (=100).
-func Fig17() *Fig17Result {
-	channels := []transport.Channel{transport.ChanCRMA, transport.ChanRDMA, transport.ChanQPair}
-	runners := []func(transport.Channel) sim.Dur{fig17DB, fig17CC, fig17Iperf}
-	names := []string{"in-mem DB random", "CC contiguous", "iperf messaging"}
-	paper := [][]string{
-		{"100", "14.5", "12.2"},
-		{"23.7", "100", "4.2"},
-		{"57.7", "12.0", "100"},
+// fig17Patterns names the three access patterns, their runners, their
+// rig seeds (unchanged from the sequential code), and the paper's
+// reported values per channel.
+var fig17Patterns = []struct {
+	key   string
+	name  string
+	seed  uint64
+	run   func(transport.Channel, uint64) sim.Dur
+	paper [3]string
+}{
+	{"db", "in-mem DB random", 71, fig17DB, [3]string{"100", "14.5", "12.2"}},
+	{"cc", "CC contiguous", 72, fig17CC, [3]string{"23.7", "100", "4.2"}},
+	{"iperf", "iperf messaging", 73, fig17Iperf, [3]string{"57.7", "12.0", "100"}},
+}
+
+// fig17Channels orders the three channels as the table's columns do.
+var fig17Channels = []struct {
+	key string
+	ch  transport.Channel
+}{
+	{"crma", transport.ChanCRMA},
+	{"rdma", transport.ChanRDMA},
+	{"qpair", transport.ChanQPair},
+}
+
+// fig17Spec decomposes the study into one trial per pattern × channel.
+func fig17Spec() harness.Spec {
+	var trials []harness.Trial
+	for _, pat := range fig17Patterns {
+		for _, ch := range fig17Channels {
+			trials = append(trials, harness.Trial{
+				ID: pat.key + "/" + ch.key, Seed: pat.seed,
+				Run: durTrial(func(seed uint64) sim.Dur { return pat.run(ch.ch, seed) }),
+			})
+		}
 	}
+	return harness.Spec{
+		Title:    "Fig. 17 — channel multi-modality study",
+		Trials:   trials,
+		Assemble: assembleFig17,
+	}
+}
+
+// assembleFig17 normalizes each pattern to its best channel (=100).
+func assembleFig17(r *harness.Result) (harness.Artifact, error) {
 	res := &Fig17Result{
-		Patterns: names,
 		Table: Table{
 			Title:   "Fig. 17 — channel comparison, normalized to best per pattern (=100)",
 			Columns: []string{"pattern", "CRMA", "paper", "RDMA", "paper", "QPair", "paper"},
 		},
 	}
-	for i, run := range runners {
+	for _, pat := range fig17Patterns {
+		res.Patterns = append(res.Patterns, pat.name)
 		var times [3]sim.Dur
 		best := sim.Dur(1<<62 - 1)
-		for j, ch := range channels {
-			times[j] = run(ch)
+		for j, ch := range fig17Channels {
+			times[j] = trialDur(r, pat.key+"/"+ch.key)
 			if times[j] < best {
 				best = times[j]
 			}
@@ -194,10 +229,17 @@ func Fig17() *Fig17Result {
 		res.CRMA = append(res.CRMA, norm(times[0]))
 		res.RDMA = append(res.RDMA, norm(times[1]))
 		res.QPair = append(res.QPair, norm(times[2]))
-		res.Table.AddRow(names[i],
-			f1(norm(times[0])), paper[i][0],
-			f1(norm(times[1])), paper[i][1],
-			f1(norm(times[2])), paper[i][2])
+		res.Table.AddRow(pat.name,
+			f1(norm(times[0])), pat.paper[0],
+			f1(norm(times[1])), pat.paper[1],
+			f1(norm(times[2])), pat.paper[2])
 	}
-	return res
+	return res, nil
 }
+
+// String renders the figure's table.
+func (r *Fig17Result) String() string { return r.Table.String() }
+
+// Fig17 runs the full matrix and normalizes each pattern to its best
+// channel (=100).
+func Fig17() *Fig17Result { return runSpec("fig17", fig17Spec()).(*Fig17Result) }

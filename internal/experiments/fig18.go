@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -22,9 +23,9 @@ type Fig18Result struct {
 // run at driver speed (the stream is hardware-paced, as in the SDP
 // scenario the paper describes); only the credit-return mechanism
 // differs between the two runs.
-func fig18Run(size int, viaCRMA bool) float64 {
+func fig18Run(size int, viaCRMA bool, seed uint64) float64 {
 	p := sim.Default()
-	rig := newPair(&p, 81)
+	rig := newPair(&p, seed)
 	defer rig.close()
 	cfg := transport.QPairConfig{Window: 16, CreditBatch: 4, CreditViaCRMA: viaCRMA}
 	qa, qb := transport.ConnectQPair(rig.Local.EP, rig.Donor.EP, cfg)
@@ -47,23 +48,57 @@ func fig18Run(size int, viaCRMA bool) float64 {
 	return float64(count) * float64(size) / 1e6 / sim.Dur(done).Seconds()
 }
 
-// Fig18 sweeps payload sizes 4..128 B.
-func Fig18() *Fig18Result {
-	sizes := []int{4, 8, 16, 32, 64, 128}
+// fig18Sizes is the payload sweep; fig18Seed the rig stream.
+var fig18Sizes = []int{4, 8, 16, 32, 64, 128}
+
+const fig18Seed = 81
+
+// fig18Spec decomposes the sweep into one trial per payload size ×
+// credit path.
+func fig18Spec() harness.Spec {
+	var trials []harness.Trial
+	for _, s := range fig18Sizes {
+		for _, path := range []struct {
+			name    string
+			viaCRMA bool
+		}{{"qpair-credits", false}, {"crma-credits", true}} {
+			trials = append(trials, harness.Trial{
+				ID: fmt.Sprintf("%dB/%s", s, path.name), Seed: fig18Seed,
+				Run: func(seed uint64) (harness.Values, error) {
+					return harness.Values{"mbps": fig18Run(s, path.viaCRMA, seed)}, nil
+				},
+			})
+		}
+	}
+	return harness.Spec{
+		Title:    "Fig. 18 — QPair flow-control credits over CRMA",
+		Trials:   trials,
+		Assemble: assembleFig18,
+	}
+}
+
+// assembleFig18 computes the collaborative path's improvement per size.
+func assembleFig18(r *harness.Result) (harness.Artifact, error) {
 	paper := []string{"~51%", "~48%", "~42%", "~38%", "~33%", "~28%"}
 	res := &Fig18Result{
-		Sizes: sizes,
+		Sizes: fig18Sizes,
 		Table: Table{
 			Title:   "Fig. 18 — QPair bandwidth improvement with credits over CRMA",
 			Columns: []string{"payload", "qpair-credits MB/s", "crma-credits MB/s", "improvement", "paper"},
 		},
 	}
-	for i, s := range sizes {
-		base := fig18Run(s, false)
-		collab := fig18Run(s, true)
+	for i, s := range fig18Sizes {
+		base := r.Val(fmt.Sprintf("%dB/qpair-credits", s), "mbps")
+		collab := r.Val(fmt.Sprintf("%dB/crma-credits", s), "mbps")
 		imp := 100 * (collab - base) / base
 		res.Improvement = append(res.Improvement, imp)
 		res.Table.AddRow(fmt.Sprintf("%dB", s), f2(base), f2(collab), pct(imp), paper[i])
 	}
-	return res
+	return res, nil
 }
+
+// String renders the figure's table.
+func (r *Fig18Result) String() string { return r.Table.String() }
+
+// Fig18 sweeps payload sizes 4..128 B.
+func Fig18() *Fig18Result { return runSpec("fig18", fig18Spec()).(*Fig18Result) }

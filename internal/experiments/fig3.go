@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/commodity"
+	"repro/internal/harness"
 	"repro/internal/memsys"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -35,9 +36,9 @@ const entryBytesScaled = 16
 // PCIe LD/ST configuration maps the whole dataset through an uncached
 // PIO window — the commodity chip gives it no local caching at all,
 // which is exactly why the paper calls its result crippling.
-func fig3Run(config string) sim.Dur {
+func fig3Run(config string, seed uint64) sim.Dur {
 	p := sim.Default()
-	rig := newPair(&p, 33)
+	rig := newPair(&p, seed)
 	defer rig.close()
 
 	dataset, local := fig3Dataset()
@@ -88,22 +89,53 @@ func mustAdd(rig *pairRig, r *memsys.Region) {
 	}
 }
 
-// Fig3 runs all five configurations and normalizes to all-local.
-func Fig3() *Fig3Result {
-	configs := []string{"10gbe", "ib-srp", "pcie-rdma", "pcie-ldst"}
-	baseline := fig3Run("all-local")
+// fig3Configs are the four remote configurations of the study.
+var fig3Configs = []string{"10gbe", "ib-srp", "pcie-rdma", "pcie-ldst"}
+
+// fig3Seed keeps every cell on the rig stream the sequential code used.
+const fig3Seed = 33
+
+// fig3Spec decomposes the figure into one trial per configuration plus
+// the all-local baseline.
+func fig3Spec() harness.Spec {
+	trials := []harness.Trial{{
+		ID: "all-local", Seed: fig3Seed,
+		Run: durTrial(func(seed uint64) sim.Dur { return fig3Run("all-local", seed) }),
+	}}
+	for _, c := range fig3Configs {
+		trials = append(trials, harness.Trial{
+			ID: c, Seed: fig3Seed,
+			Run: durTrial(func(seed uint64) sim.Dur { return fig3Run(c, seed) }),
+		})
+	}
+	return harness.Spec{
+		Title:    "Fig. 3 — remote memory over commodity interconnects",
+		Trials:   trials,
+		Assemble: assembleFig3,
+	}
+}
+
+// assembleFig3 normalizes each configuration to the all-local baseline.
+func assembleFig3(r *harness.Result) (harness.Artifact, error) {
+	baseline := trialDur(r, "all-local")
 	res := &Fig3Result{
-		Configs: configs,
+		Configs: fig3Configs,
 		Table: Table{
 			Title:   "Fig. 3 — remote memory over commodity interconnects (exec time / all-local)",
 			Columns: []string{"config", "normalized", "paper"},
 		},
 	}
 	paper := map[string]string{"10gbe": "42", "ib-srp": "19", "pcie-rdma": "12", "pcie-ldst": "191"}
-	for _, c := range configs {
-		n := float64(fig3Run(c)) / float64(baseline)
+	for _, c := range fig3Configs {
+		n := float64(trialDur(r, c)) / float64(baseline)
 		res.Normalized = append(res.Normalized, n)
 		res.Table.AddRow(c, f1(n), paper[c])
 	}
-	return res
+	return res, nil
 }
+
+// String renders the figure's table.
+func (r *Fig3Result) String() string { return r.Table.String() }
+
+// Fig3 runs all five configurations and normalizes to all-local.
+func Fig3() *Fig3Result { return runSpec("fig3", fig3Spec()).(*Fig3Result) }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/harness"
 	"repro/internal/memsys"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -80,11 +81,11 @@ func mountWindow(rig *pairRig, size uint64) uint64 {
 // the remote node; the index is client-local, as in the paper's setup
 // ("the key is used to look up the address of the corresponding
 // record"; "the server stores the records in remote memory").
-func fig5BDB(config string, router bool) sim.Dur {
+func fig5BDB(config string, router bool, seed uint64) sim.Dur {
 	const recordsBytes = uint64(bdbKeysFig5 * bdbRecordSize)
 	var elapsed sim.Dur
 	if config == "" { // all-local baseline
-		rig := fig5Rig(fig5Opts{}, 55)
+		rig := fig5Rig(fig5Opts{}, seed)
 		defer rig.close()
 		rig.run("bdb-local", func(pr *sim.Proc) {
 			kv := workloads.BuildBTree(pr, rig.Local.Mem,
@@ -100,7 +101,7 @@ func fig5BDB(config string, router bool) sim.Dur {
 		return elapsed
 	}
 	o := optsFor(config, router)
-	rig := fig5Rig(o, 55)
+	rig := fig5Rig(o, seed)
 	defer rig.close()
 	if o.useQPair {
 		qa, qb := transport.ConnectQPair(rig.Local.EP, rig.Donor.EP, transport.QPairConfig{})
@@ -143,13 +144,13 @@ func fig5BDB(config string, router bool) sim.Dur {
 // fig5PR measures PageRank under one configuration (empty = all-local).
 // The edge array lives on the remote node; row offsets and ranks stay
 // local.
-func fig5PR(config string, router bool) sim.Dur {
+func fig5PR(config string, router bool, seed uint64) sim.Dur {
 	var elapsed sim.Dur
 	buildGraph := func() *workloads.Graph {
 		return workloads.GenUniform(sim.NewRNG(4), prVertices, prDegree)
 	}
 	if config == "" {
-		rig := fig5Rig(fig5Opts{}, 56)
+		rig := fig5Rig(fig5Opts{}, seed)
 		defer rig.close()
 		g := buildGraph()
 		g.Place(workloads.NewArena(0, 16<<20), workloads.NewArena(16<<20, 64<<20),
@@ -164,7 +165,7 @@ func fig5PR(config string, router bool) sim.Dur {
 		return elapsed
 	}
 	o := optsFor(config, router)
-	rig := fig5Rig(o, 56)
+	rig := fig5Rig(o, seed)
 	defer rig.close()
 	g := buildGraph()
 	if o.useQPair {
@@ -195,11 +196,47 @@ func fig5PR(config string, router bool) sim.Dur {
 	return elapsed
 }
 
-// Fig5 runs the five configurations for both workloads, normalized to
-// all-local execution.
-func Fig5() *Fig5Result {
-	prBase := fig5PR("", false)
-	bdbBase := fig5BDB("", false)
+// Seeds for the two workloads' rig streams, unchanged from the
+// sequential code so the calibrated results are bit-identical.
+const (
+	fig5SeedBDB = 55
+	fig5SeedPR  = 56
+)
+
+// fig5Trial builds the trial for one workload × config × routing cell.
+func fig5Trial(id, config string, router bool, pagerank bool) harness.Trial {
+	if pagerank {
+		return harness.Trial{ID: id, Seed: fig5SeedPR,
+			Run: durTrial(func(seed uint64) sim.Dur { return fig5PR(config, router, seed) })}
+	}
+	return harness.Trial{ID: id, Seed: fig5SeedBDB,
+		Run: durTrial(func(seed uint64) sim.Dur { return fig5BDB(config, router, seed) })}
+}
+
+// fig5Spec decomposes the figure: an all-local baseline per workload
+// plus one trial per configuration × workload.
+func fig5Spec() harness.Spec {
+	trials := []harness.Trial{
+		fig5Trial("pagerank/all-local", "", false, true),
+		fig5Trial("bdb/all-local", "", false, false),
+	}
+	for _, c := range fig5Configs {
+		trials = append(trials,
+			fig5Trial("pagerank/"+c, c, false, true),
+			fig5Trial("bdb/"+c, c, false, false))
+	}
+	return harness.Spec{
+		Title:    "Fig. 5 — remote-memory access designs vs all-local",
+		Trials:   trials,
+		Assemble: assembleFig5,
+	}
+}
+
+// assembleFig5 normalizes each configuration to its workload's
+// all-local baseline.
+func assembleFig5(r *harness.Result) (harness.Artifact, error) {
+	prBase := trialDur(r, "pagerank/all-local")
+	bdbBase := trialDur(r, "bdb/all-local")
 	res := &Fig5Result{
 		Configs: fig5Configs,
 		Table: Table{
@@ -210,14 +247,21 @@ func Fig5() *Fig5Result {
 	paperPR := []string{"7.69", "5.96", "3.12", "3.01", "2.12"}
 	paperBDB := []string{"11.92", "10.91", "10.83", "3.43", "2.48"}
 	for i, c := range fig5Configs {
-		pr := float64(fig5PR(c, false)) / float64(prBase)
-		bdb := float64(fig5BDB(c, false)) / float64(bdbBase)
+		pr := float64(trialDur(r, "pagerank/"+c)) / float64(prBase)
+		bdb := float64(trialDur(r, "bdb/"+c)) / float64(bdbBase)
 		res.PageRank = append(res.PageRank, pr)
 		res.BerkeleyDB = append(res.BerkeleyDB, bdb)
 		res.Table.AddRow(c, f2(pr), paperPR[i], f2(bdb), paperBDB[i])
 	}
-	return res
+	return res, nil
 }
+
+// String renders the figure's table.
+func (r *Fig5Result) String() string { return r.Table.String() }
+
+// Fig5 runs the five configurations for both workloads, normalized to
+// all-local execution.
+func Fig5() *Fig5Result { return runSpec("fig5", fig5Spec()).(*Fig5Result) }
 
 // Fig6Result reproduces Fig. 6: the added overhead of a one-level
 // external router between the two nodes, per configuration.
@@ -228,27 +272,68 @@ type Fig6Result struct {
 	Table      Table
 }
 
-// Fig6 measures each configuration with and without the router.
-func Fig6() *Fig6Result {
+// fig6Paper maps each configuration to the paper's reported overheads.
+var fig6Paper = map[string][2]string{
+	"off-chip qpair":      {"11.70%", "7.66%"},
+	"on-chip qpair":       {"13.42%", "7.33%"},
+	"async on-chip qpair": {"2.02%", "7.39%"},
+	"off-chip crma":       {"13.92%", "11.08%"},
+	"on-chip crma":        {"22.72%", "16.13%"},
+}
+
+// fig6Spec decomposes the router study: direct and routed trials per
+// configuration × workload. A subset of configurations may be selected
+// (the short-mode matrix).
+func fig6Spec(configs []string) harness.Spec {
+	var trials []harness.Trial
+	for _, c := range configs {
+		trials = append(trials,
+			fig5Trial("pagerank/"+c+"/direct", c, false, true),
+			fig5Trial("pagerank/"+c+"/router", c, true, true),
+			fig5Trial("bdb/"+c+"/direct", c, false, false),
+			fig5Trial("bdb/"+c+"/router", c, true, false))
+	}
+	return harness.Spec{
+		Title:  "Fig. 6 — one-level external router overhead",
+		Trials: trials,
+		Assemble: func(r *harness.Result) (harness.Artifact, error) {
+			return assembleFig6(r, configs)
+		},
+	}
+}
+
+// assembleFig6 computes each configuration's routed-vs-direct overhead.
+func assembleFig6(r *harness.Result, configs []string) (harness.Artifact, error) {
 	res := &Fig6Result{
-		Configs: fig5Configs,
+		Configs: configs,
 		Table: Table{
 			Title:   "Fig. 6 — performance overhead with a one-level router",
 			Columns: []string{"config", "PageRank", "paper", "BerkeleyDB", "paper"},
 		},
 	}
-	paperPR := []string{"11.70%", "13.42%", "2.02%", "13.92%", "22.72%"}
-	paperBDB := []string{"7.66%", "7.33%", "7.39%", "11.08%", "16.13%"}
-	for i, c := range fig5Configs {
-		prDirect := fig5PR(c, false)
-		prRouted := fig5PR(c, true)
-		bdbDirect := fig5BDB(c, false)
-		bdbRouted := fig5BDB(c, true)
+	for _, c := range configs {
+		prDirect := trialDur(r, "pagerank/"+c+"/direct")
+		prRouted := trialDur(r, "pagerank/"+c+"/router")
+		bdbDirect := trialDur(r, "bdb/"+c+"/direct")
+		bdbRouted := trialDur(r, "bdb/"+c+"/router")
 		prOv := 100 * (float64(prRouted) - float64(prDirect)) / float64(prDirect)
 		bdbOv := 100 * (float64(bdbRouted) - float64(bdbDirect)) / float64(bdbDirect)
 		res.PageRank = append(res.PageRank, prOv)
 		res.BerkeleyDB = append(res.BerkeleyDB, bdbOv)
-		res.Table.AddRow(c, pct(prOv), paperPR[i], pct(bdbOv), paperBDB[i])
+		paper := fig6Paper[c]
+		res.Table.AddRow(c, pct(prOv), paper[0], pct(bdbOv), paper[1])
 	}
-	return res
+	return res, nil
+}
+
+// String renders the figure's table.
+func (r *Fig6Result) String() string { return r.Table.String() }
+
+// Fig6 measures each configuration with and without the router.
+func Fig6() *Fig6Result { return Fig6Of(fig5Configs...) }
+
+// Fig6Of runs the router study over a subset of the configurations (the
+// reduced short-mode matrix keeps the cells the paper's finding needs).
+func Fig6Of(configs ...string) *Fig6Result {
+	return runSpec("fig6", fig6Spec(configs)).(*Fig6Result)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -56,8 +57,8 @@ type ValidationResult struct {
 }
 
 // validationRun measures one workload under a parameter set.
-func validationRun(name string, p sim.Params) sim.Dur {
-	rig := newPair(&p, 90)
+func validationRun(name string, p sim.Params, seed uint64) sim.Dur {
+	rig := newPair(&p, seed)
 	defer rig.close()
 	var elapsed sim.Dur
 	switch name {
@@ -94,22 +95,77 @@ func validationRun(name string, p sim.Params) sim.Dur {
 	return elapsed
 }
 
-// Validation compares the prototype and Xeon parameter sets.
-func Validation() *ValidationResult {
-	names := []string{"bdb", "grep", "pagerank"}
+// validationWorkloads is the §4.2 workload mix; validationSeed the rig
+// stream.
+var validationWorkloads = []string{"bdb", "grep", "pagerank"}
+
+const validationSeed = 90
+
+// validationSpec decomposes the check into one trial per workload ×
+// parameter set.
+func validationSpec() harness.Spec {
+	var trials []harness.Trial
+	for _, n := range validationWorkloads {
+		for _, ps := range []struct {
+			name   string
+			params func() sim.Params
+		}{{"proto", sim.Default}, {"xeon", sim.Xeon}} {
+			trials = append(trials, harness.Trial{
+				ID: n + "/" + ps.name, Seed: validationSeed,
+				Run: durTrial(func(seed uint64) sim.Dur { return validationRun(n, ps.params(), seed) }),
+			})
+		}
+	}
+	return harness.Spec{
+		Title:    "§4.2 validation — prototype vs Xeon-class parameters",
+		Trials:   trials,
+		Assemble: assembleValidation,
+	}
+}
+
+// assembleValidation computes the prototype/Xeon ratio per workload.
+func assembleValidation(r *harness.Result) (harness.Artifact, error) {
 	res := &ValidationResult{
-		Workloads: names,
+		Workloads: validationWorkloads,
 		Table: Table{
 			Title:   "§4.2 validation — prototype time / Xeon-class time (paper: ~16x, ±10%)",
 			Columns: []string{"workload", "ratio"},
 		},
 	}
-	for _, n := range names {
-		proto := validationRun(n, sim.Default())
-		xeon := validationRun(n, sim.Xeon())
-		r := float64(proto) / float64(xeon)
-		res.Ratios = append(res.Ratios, r)
-		res.Table.AddRow(n, fmt.Sprintf("%.1fx", r))
+	for _, n := range validationWorkloads {
+		proto := trialDur(r, n+"/proto")
+		xeon := trialDur(r, n+"/xeon")
+		ratio := float64(proto) / float64(xeon)
+		res.Ratios = append(res.Ratios, ratio)
+		res.Table.AddRow(n, fmt.Sprintf("%.1fx", ratio))
 	}
-	return res
+	return res, nil
+}
+
+// String renders the validation table.
+func (r *ValidationResult) String() string { return r.Table.String() }
+
+// Validation compares the prototype and Xeon parameter sets.
+func Validation() *ValidationResult {
+	return runSpec("validation", validationSpec()).(*ValidationResult)
+}
+
+// table1Spec and costSpec wrap the two purely tabular artifacts: no
+// measurements, so no trials — assembly renders directly.
+func table1Spec() harness.Spec {
+	return harness.Spec{
+		Title: "Table 1 — platform configuration",
+		Assemble: func(*harness.Result) (harness.Artifact, error) {
+			return Table1(), nil
+		},
+	}
+}
+
+func costSpec() harness.Spec {
+	return harness.Spec{
+		Title: "§7.3 — hardware cost analysis",
+		Assemble: func(*harness.Result) (harness.Artifact, error) {
+			return CostTable(), nil
+		},
+	}
 }

@@ -1,0 +1,25 @@
+package experiments
+
+import "repro/internal/harness"
+
+// The registration order is the paper's presentation order (what
+// venice-bench runs with no arguments), followed by the exploratory
+// ablations.
+func init() {
+	harness.Register("table1", table1Spec())
+	harness.Register("fig3", fig3Spec())
+	harness.Register("fig5", fig5Spec())
+	harness.Register("fig6", fig6Spec(fig5Configs))
+	harness.Register("fig14", fig14Spec())
+	harness.Register("fig15", fig15Spec(fig15Workloads))
+	harness.Register("fig16a", fig16aSpec())
+	harness.Register("fig16b", fig16bSpec())
+	harness.Register("fig17", fig17Spec())
+	harness.Register("fig18", fig18Spec())
+	harness.Register("cost", costSpec())
+	harness.Register("validation", validationSpec())
+	harness.Register("ablation-mshr", ablationMSHRSpec(ablationMSHRs))
+	harness.Register("ablation-readahead", ablationReadaheadSpec())
+	harness.Register("ablation-window", ablationWindowSpec())
+	harness.Register("ablation-granularity", ablationGranularitySpec())
+}

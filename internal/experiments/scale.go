@@ -67,3 +67,18 @@ const (
 	// Fig. 15: 25% local memory, 75% remote.
 	fig15LocalFrac = 0.25
 )
+
+// Short-mode trial matrices. Under `go test -short` the experiment
+// tests run these reduced matrices instead of the full configuration ×
+// workload grids; each subset keeps exactly the cells the paper's
+// qualitative finding needs (the crossovers and extremes the
+// assertions check), dropping only corroborating middle points.
+var (
+	// Fig. 6 keeps the cheapest channel, the latency-hiding rewrite,
+	// and the highest-performing configuration the router hurts most.
+	fig6ConfigsShort = []string{"off-chip qpair", "async on-chip qpair", "on-chip crma"}
+
+	// Fig. 15 keeps the random-access and contiguous-access workloads
+	// whose CRMA/RDMA inversion is the figure's point.
+	fig15WorkloadsShort = []string{"inmem-db", "grep"}
+)

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps experiment ids to specs, preserving registration
+// order so listings and "run everything" follow the paper's ordering.
+var registry = struct {
+	sync.Mutex
+	order []string
+	specs map[string]Spec
+}{specs: make(map[string]Spec)}
+
+// Register adds a spec under id. Ids are stable public names (fig5,
+// table1, ablation-mshr, ...); registering the same id twice is a
+// programming error and panics.
+func Register(id string, spec Spec) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.specs[id]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment id %q", id))
+	}
+	registry.order = append(registry.order, id)
+	registry.specs[id] = spec
+}
+
+// Lookup returns the spec registered under id.
+func Lookup(id string) (Spec, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	s, ok := registry.specs[id]
+	return s, ok
+}
+
+// IDs returns every registered id in registration order.
+func IDs() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	return append([]string(nil), registry.order...)
+}
+
+// RunID executes and assembles the spec registered under id.
+func RunID(id string, opts Options) (Artifact, *Result, error) {
+	spec, ok := Lookup(id)
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, nil, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, known)
+	}
+	return Run(id, spec, opts)
+}

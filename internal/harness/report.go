@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// Report is the JSON artifact of one harness invocation: every executed
+// trial with its values and timing, plus enough environment metadata to
+// compare runs over time (the BENCH_*.json trajectory).
+type Report struct {
+	Parallel   int           `json:"parallel"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	WallMS     float64       `json:"wall_ms"`
+	Specs      []SpecReport  `json:"specs"`
+	Trials     []TrialResult `json:"trials"`
+}
+
+// SpecReport summarizes one spec's execution.
+type SpecReport struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title,omitempty"`
+	Trials int     `json:"trials"`
+	WallMS float64 `json:"wall_ms"`
+	Errors int     `json:"errors"`
+}
+
+// NewReport builds a report from executed results.
+func NewReport(parallel int, wallMS float64, results []*Result) *Report {
+	rep := &Report{
+		Parallel:   parallel,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		WallMS:     wallMS,
+	}
+	for _, r := range results {
+		sr := SpecReport{ID: r.Spec, Trials: len(r.Trials), WallMS: r.WallMS}
+		if spec, ok := Lookup(r.Spec); ok {
+			sr.Title = spec.Title
+		}
+		for i := range r.Trials {
+			if r.Trials[i].Error != "" {
+				sr.Errors++
+			}
+			rep.Trials = append(rep.Trials, r.Trials[i])
+		}
+		rep.Specs = append(rep.Specs, sr)
+	}
+	return rep
+}
+
+// WriteFile emits the report as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -21,10 +21,17 @@ type BlockDevice interface {
 	Name() string
 }
 
-// SwapStats counts paging activity.
+// SwapStats counts paging activity. The accounting balances two ways:
+// every backend access is either a minor hit or a major fault (the CPU
+// cache in front of the pager absorbs repeats before they get here),
+// and every eviction removes a page that PagesIn previously admitted,
+// so Evictions <= PagesIn always. A major fault admits one page unless
+// readahead extends it, so PagesIn >= MajorFault with equality when
+// readahead is off.
 type SwapStats struct {
 	MinorHits  int64 // accesses to resident pages
-	MajorFault int64 // page-ins from the device
+	MajorFault int64 // faulting accesses (page-in traps)
+	PagesIn    int64 // pages admitted to the resident set (incl. readahead)
 	Evictions  int64 // pages pushed out (dirty ones cost a device write)
 	DirtyWrite int64
 	Readahead  int64 // faults that triggered a readahead batch
@@ -163,6 +170,7 @@ func (s *Paged) fault(ctx *AccessCtx, page uint64, write bool) {
 		dirty := write && i == 0
 		el := s.lru.PushFront(&pageEnt{page: pg, dirty: dirty})
 		s.pages[pg] = el
+		s.Stats.PagesIn++
 	}
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/fabric"
 	"repro/internal/sim"
@@ -96,7 +97,11 @@ type QPair struct {
 	Stats QPairStats
 }
 
-var nextQPID int
+// nextQPID hands out process-unique queue-pair ids. Simulations on
+// different engines may connect queue pairs concurrently (the
+// experiment harness runs trials in parallel), so the counter is
+// atomic; only uniqueness matters, never the numeric value.
+var nextQPID atomic.Int64
 
 // ConnectQPair establishes a queue pair between two endpoints and
 // returns the two ends. Both directions share the same configuration.
@@ -104,10 +109,8 @@ func ConnectQPair(a, b *Endpoint, cfg QPairConfig) (*QPair, *QPair) {
 	if a.Eng != b.Eng {
 		panic("transport: qpair endpoints on different engines")
 	}
-	qa := &QPair{ep: a, id: nextQPID, peer: b.ID, cfg: cfg, reorder: make(map[uint64]*qpMsg)}
-	nextQPID++
-	qb := &QPair{ep: b, id: nextQPID, peer: a.ID, cfg: cfg, reorder: make(map[uint64]*qpMsg)}
-	nextQPID++
+	qa := &QPair{ep: a, id: int(nextQPID.Add(1)), peer: b.ID, cfg: cfg, reorder: make(map[uint64]*qpMsg)}
+	qb := &QPair{ep: b, id: int(nextQPID.Add(1)), peer: a.ID, cfg: cfg, reorder: make(map[uint64]*qpMsg)}
 	qa.dst, qb.dst = qb.id, qa.id
 	qa.recvQ = sim.NewQueue[*Message](a.Eng)
 	qb.recvQ = sim.NewQueue[*Message](b.Eng)
