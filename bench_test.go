@@ -115,6 +115,33 @@ func BenchmarkFig18(b *testing.B) {
 	}
 }
 
+// BenchmarkServing regenerates the open-loop serving smoke cell (the
+// bench-regression CI gate's subset). Reported metrics: the cell's
+// end-to-end latency percentiles and achieved throughput.
+func BenchmarkServing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ServingSmoke()
+		c := &r.Cells[0]
+		b.ReportMetric(float64(c.P50)/1e3, "p50-us")
+		b.ReportMetric(float64(c.P90)/1e3, "p90-us")
+		b.ReportMetric(float64(c.P99)/1e3, "p99-us")
+		b.ReportMetric(float64(c.P999)/1e3, "p999-us")
+		b.ReportMetric(c.AchievedRPS/1e3, "krps")
+	}
+}
+
+// BenchmarkServingTier regenerates one pressured cache-tier cell: the
+// co-located-tenant scenario whose tail the sharing policy moves.
+func BenchmarkServingTier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ServingPressure()
+		c := &r.Cells[0]
+		b.ReportMetric(float64(c.P99)/1e3, "p99-us")
+		b.ReportMetric(float64(c.P999)/1e3, "p999-us")
+		b.ReportMetric(c.AchievedRPS/1e3, "krps")
+	}
+}
+
 // BenchmarkCost regenerates the §7.3 hardware cost table. Reported
 // metric: Venice's share of an 8-core Haswell-EP die (paper: ~2%).
 func BenchmarkCost(b *testing.B) {

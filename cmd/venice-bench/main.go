@@ -1,21 +1,26 @@
 // Command venice-bench regenerates the paper's tables and figures from
 // the simulator through the trial harness. With no arguments it runs
 // every registered experiment in paper order; otherwise pass experiment
-// ids (see -list).
+// ids positionally or via -run (see -list).
 //
 // Usage:
 //
-//	venice-bench [-list] [-parallel N] [-json out.json] [id ...]
+//	venice-bench [-list] [-run id,id] [-parallel N] [-json out.json]
+//	             [-baseline base.json] [-tolerance 0.01] [id ...]
 //
 // Every experiment is decomposed into independent deterministic trials
 // executed on a bounded worker pool, so -parallel N produces
-// byte-identical tables for any N; only the wall-clock changes.
+// byte-identical tables for any N; only the wall-clock changes. That
+// determinism is what makes -baseline an exact regression gate: it
+// compares every trial metric of this run against a previously written
+// report and exits with status 3 if anything drifts beyond -tolerance.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -26,11 +31,14 @@ var _ = experiments.Table1 // the import's side effect is spec registration
 
 func main() {
 	list := flag.Bool("list", false, "list registered experiment ids and exit")
+	runIDs := flag.String("run", "", "comma-separated experiment ids to run (combined with positional ids)")
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write per-trial results and timing metadata to this file")
+	baseline := flag.String("baseline", "", "compare trial metrics against this report; exit 3 on drift")
+	tolerance := flag.Float64("tolerance", 0.01, "allowed relative drift per metric with -baseline")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: venice-bench [-list] [-parallel N] [-json out.json] [id ...]\n")
+			"usage: venice-bench [-list] [-run id,id] [-parallel N] [-json out.json] [-baseline base.json] [-tolerance f] [id ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,6 +52,11 @@ func main() {
 	}
 
 	ids := flag.Args()
+	for _, id := range strings.Split(*runIDs, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = harness.IDs()
 	}
@@ -60,11 +73,29 @@ func main() {
 		fmt.Println(art.String())
 		fmt.Printf("[%s regenerated in %v]\n\n", id, time.Duration(res.WallMS*1e6).Round(time.Millisecond))
 	}
+	rep := harness.NewReport(opts.Parallel, float64(time.Since(start))/1e6, results)
 	if *jsonPath != "" {
-		rep := harness.NewReport(opts.Parallel, float64(time.Since(start))/1e6, results)
 		if err := rep.WriteFile(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "venice-bench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
+	}
+	if *baseline != "" {
+		base, err := harness.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "venice-bench: loading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		drifts := rep.CompareToBaseline(base, *tolerance)
+		if len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "venice-bench: %d metric(s) drifted beyond %.2f%% of %s:\n",
+				len(drifts), 100**tolerance, *baseline)
+			for _, d := range drifts {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			os.Exit(3)
+		}
+		fmt.Printf("baseline check: %d metrics within %.2f%% of %s\n",
+			rep.MetricCount(), 100**tolerance, *baseline)
 	}
 }

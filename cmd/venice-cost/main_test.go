@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestMainRuns exercises the command end to end so `go test ./...`
+// catches a venice-cost that builds but panics — the command has no
+// flags and prints the §7.3 cost table.
+func TestMainRuns(t *testing.T) {
+	main()
+}

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestMainRuns exercises the command end to end so `go test ./...`
+// catches a venice-topo that builds but panics — the command has no
+// flags and prints a fixed description of the prototype fabric.
+func TestMainRuns(t *testing.T) {
+	main()
+}

@@ -18,6 +18,8 @@ func init() {
 	harness.Register("fig18", fig18Spec())
 	harness.Register("cost", costSpec())
 	harness.Register("validation", validationSpec())
+	harness.Register("serving", servingSweepSpec())
+	harness.Register("serving-smoke", servingSmokeSpec())
 	harness.Register("ablation-mshr", ablationMSHRSpec(ablationMSHRs))
 	harness.Register("ablation-readahead", ablationReadaheadSpec())
 	harness.Register("ablation-window", ablationWindowSpec())

@@ -16,6 +16,24 @@ type Policy interface {
 	Order(m *Monitor, requester fabric.NodeID, cands []*Registration)
 }
 
+// PolicyByName resolves a policy by its Name() string — the form the
+// serving scenario sweeps and command-line surfaces use. The empty
+// string selects the prototype default (distance-first).
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "", "distance":
+		return DistanceFirst{}, true
+	case "most-idle":
+		return MostIdle{}, true
+	case "traffic-aware":
+		return TrafficAware{PenaltyHops: 2}, true
+	}
+	return nil, false
+}
+
+// PolicyNames lists the selectable policy names in sweep order.
+func PolicyNames() []string { return []string{"distance", "most-idle", "traffic-aware"} }
+
 // DistanceFirst is the prototype's policy: nearest donor wins, idle
 // memory breaks ties, node id keeps it deterministic.
 type DistanceFirst struct{}

@@ -1,0 +1,406 @@
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/monitor"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/workloads"
+)
+
+// Workload selects the served application.
+type Workload string
+
+const (
+	// KV is the replicated key-value tier: clients on the serving node
+	// fetch records from DataServers spread across the mesh over QPairs
+	// (the workloads/kvserver.go path).
+	KV Workload = "kv"
+	// Tier is the Redis-in-front-of-MySQL cache tier whose value storage
+	// is partly leased remote memory brokered by the Monitor Node (the
+	// workloads/tierdb.go path).
+	Tier Workload = "tier"
+)
+
+// Config shapes one serving scenario run.
+type Config struct {
+	Workload Workload
+	// Nodes is the mesh size: 2, 4, or 8 (0 defaults to the prototype's
+	// 8-node mesh; Tier additionally needs >= 4 for donor diversity).
+	Nodes int
+	// Util is the offered load as a fraction of the scenario's
+	// calibrated service capacity (the open-loop arrival rate is
+	// Util × capacity). Meaningful range (0, 1); above ~1 the open-loop
+	// queue grows without bound for the whole horizon.
+	Util float64
+	// Arrivals shapes the arrival process (zero value: Poisson).
+	Arrivals ArrivalSpec
+	// Requests is the number of measured open-loop requests.
+	Requests int
+	// Workers is the app-server concurrency for the Tier workload
+	// (default 2). KV uses one dispatcher per data server.
+	Workers int
+	// Tenants is the number of co-located tenants on the serving node,
+	// each leasing remote memory through the Monitor Node and streaming
+	// reads through it for the scenario's duration (Tier only).
+	Tenants int
+	// Policy names the Monitor Node sharing policy that places every
+	// lease — the serving tier's and the tenants' (Tier only;
+	// "" = the prototype's distance-first).
+	Policy string
+	// Seed drives the arrival and key streams. Everything else in the
+	// scenario uses fixed internal seeds, so two runs with the same
+	// Seed are identical and runs with different Seeds are independent
+	// shards of the same cell, mergeable via sim.LatencyHist.
+	Seed uint64
+}
+
+// Result is one scenario run's measurements.
+type Result struct {
+	// Lat holds every measured request's end-to-end latency (queueing
+	// included — the arrival instant to the response), merged from the
+	// per-dispatcher shard histograms.
+	Lat *sim.LatencyHist
+	// OfferedRPS is the open-loop arrival rate (Util × calibrated
+	// capacity) in requests per second of virtual time.
+	OfferedRPS float64
+	// AchievedRPS is the measured completion throughput.
+	AchievedRPS float64
+	// ServiceNS is the calibrated closed-loop mean service time.
+	ServiceNS float64
+	// MaxQueue is the deepest any request queue got.
+	MaxQueue int
+}
+
+// Scenario-internal calibration constants. These are deliberately not
+// configurable: every cell of the experiment sweep shares them, so the
+// sweep varies only load, scale, policy, and arrival shape.
+const (
+	kvKeys        = 30_000
+	kvRecordSize  = 64
+	kvFanout      = 16
+	kvThink       = 4 * sim.Microsecond
+	kvCalibration = 48
+	kvRecordBase  = 0x1000_0000 // server-side record arena base
+	kvRigSeed     = 2101
+	kvCalSeed     = 2102
+
+	tierClusterSeed    = 2111
+	tierTenantSeed     = 2112
+	tierWarmSeed       = 2113
+	tierCalSeed        = 2114
+	tierValueBytes     = 1024
+	tierKeys           = 3000
+	tierLocalBase      = 64 << 20
+	tierLocalBytes     = 512 << 10
+	tierCacheLease     = 2 << 20
+	tierZipfTheta      = 0.9
+	tierCalibration    = 64
+	tierWarmPasses     = 2
+	tierMySQL          = 150 * sim.Microsecond
+	tierClientOverhead = 3 * sim.Microsecond
+
+	tenantLeaseBytes = 48 << 20
+	tenantReadBytes  = 2048
+	tenantThinkMaxNS = 4000
+)
+
+// request is one queued unit of offered load.
+type request struct {
+	arrived sim.Time
+	key     int
+	close   bool
+}
+
+// Run executes one serving scenario and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("serving: Requests must be positive, got %d", cfg.Requests)
+	}
+	if cfg.Util <= 0 {
+		return nil, fmt.Errorf("serving: Util must be positive, got %v", cfg.Util)
+	}
+	if err := cfg.Arrivals.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Workload {
+	case KV:
+		return runKV(cfg)
+	case Tier:
+		return runTier(cfg)
+	}
+	return nil, fmt.Errorf("serving: unknown workload %q", cfg.Workload)
+}
+
+// topoFor maps a node count onto the meshes the prototype family
+// supports.
+func topoFor(n int) (fabric.Topology, error) {
+	switch n {
+	case 2:
+		return fabric.Pair(), nil
+	case 4:
+		return fabric.Mesh3D(2, 2, 1), nil
+	case 8:
+		return fabric.Mesh3D(2, 2, 2), nil
+	}
+	return fabric.Topology{}, fmt.Errorf("serving: unsupported node count %d (want 2, 4, or 8)", n)
+}
+
+// runKV serves the replicated key-value tier: node 0 hosts the clients
+// and the local index; every other node runs a DataServer holding a
+// record replica. Requests hash to a server by key; each server's
+// dispatcher issues synchronous gets, so per-server queueing (and with
+// it the latency tail) emerges from the open-loop arrivals.
+func runKV(cfg Config) (*Result, error) {
+	nodeCount := cfg.Nodes
+	if nodeCount == 0 {
+		nodeCount = 8
+	}
+	topo, err := topoFor(nodeCount)
+	if err != nil {
+		return nil, err
+	}
+	p := sim.Default()
+	eng := sim.New()
+	defer eng.Close()
+	net := fabric.NewNetwork(eng, &p, topo, sim.NewRNG(kvRigSeed))
+	nodes := make([]*node.Node, topo.N)
+	for i := range nodes {
+		nodes[i] = node.New(eng, &p, net, fabric.NodeID(i), 1<<30)
+	}
+	servers := topo.N - 1
+
+	res := &Result{}
+	done := nodes[0].Run("serving-kv", func(pr *sim.Proc) {
+		idx := workloads.BuildBTreeIndex(pr, nodes[0].Mem,
+			workloads.NewArena(0, 128<<20), workloads.NewArena(kvRecordBase, 128<<20),
+			kvKeys, kvRecordSize, kvFanout)
+		queues := make([]*sim.Queue[request], servers)
+		rkvs := make([]*workloads.RemoteKV, servers)
+		shards := make([]*sim.LatencyHist, servers)
+		for i := 0; i < servers; i++ {
+			qa, qb := transport.ConnectQPair(nodes[0].EP, nodes[i+1].EP, transport.QPairConfig{})
+			workloads.ServeKV(eng, fmt.Sprintf("kv-server-%d", i+1),
+				&workloads.DataServer{H: nodes[i+1].Mem, QP: qb, Think: kvThink})
+			rkvs[i] = &workloads.RemoteKV{Index: idx, QP: qa}
+			queues[i] = sim.NewQueue[request](eng)
+			shards[i] = &sim.LatencyHist{}
+		}
+
+		// Closed-loop calibration: the mean synchronous round trip sets
+		// the capacity the offered load is expressed against.
+		calRng := sim.NewRNG(kvCalSeed)
+		t0 := pr.Now()
+		for j := 0; j < kvCalibration; j++ {
+			rkvs[j%servers].Get(pr, calRng.Intn(idx.Keys()))
+		}
+		res.ServiceNS = float64(pr.Now().Sub(t0)) / kvCalibration
+		res.OfferedRPS = cfg.Util * float64(servers) / res.ServiceNS * 1e9
+
+		var lastDone sim.Time
+		grp := sim.NewGroup(eng)
+		for i := 0; i < servers; i++ {
+			i := i
+			grp.Add(1)
+			nodes[0].Run(fmt.Sprintf("dispatch-%d", i), func(dp *sim.Proc) {
+				defer grp.Done()
+				for {
+					req := queues[i].Pop(dp)
+					if req.close {
+						rkvs[i].Close(dp)
+						return
+					}
+					rkvs[i].Get(dp, req.key)
+					shards[i].AddDur(dp.Now().Sub(req.arrived))
+					if dp.Now() > lastDone {
+						lastDone = dp.Now()
+					}
+				}
+			})
+		}
+
+		arr := newSampler(cfg.Arrivals, res.OfferedRPS, sim.NewRNG(cfg.Seed))
+		keyRng := sim.NewRNG(cfg.Seed ^ 0x5eed)
+		start := pr.Now()
+		for r := 0; r < cfg.Requests; r++ {
+			pr.Sleep(arr.Next())
+			key := keyRng.Intn(idx.Keys())
+			queues[key%servers].Push(pr, request{arrived: pr.Now(), key: key})
+		}
+		for i := 0; i < servers; i++ {
+			queues[i].Push(pr, request{close: true})
+		}
+		grp.Wait(pr)
+
+		res.AchievedRPS = float64(cfg.Requests) / lastDone.Sub(start).Seconds()
+		res.Lat = &sim.LatencyHist{}
+		for i := range shards {
+			res.Lat.Merge(shards[i])
+			if d := queues[i].MaxDepth(); d > res.MaxQueue {
+				res.MaxQueue = d
+			}
+		}
+	})
+	eng.Run()
+	if !done.Done() {
+		return nil, fmt.Errorf("serving: kv scenario deadlocked (%d live procs)", eng.LiveProcs())
+	}
+	return res, nil
+}
+
+// runTier serves the cache tier of Fig. 13 under open-loop load: the
+// app server on node 0 answers queries from a Redis-like cache whose
+// storage is partly remote memory leased through the Monitor Node,
+// while co-located tenants lease and hammer their own remote windows.
+// The active sharing policy places every lease, so policy choice
+// decides which links the cache's fill traffic shares with the
+// tenants' — the mechanism that moves the tail.
+func runTier(cfg Config) (*Result, error) {
+	pol, ok := monitor.PolicyByName(cfg.Policy)
+	if !ok {
+		return nil, fmt.Errorf("serving: unknown sharing policy %q (known: %v)", cfg.Policy, monitor.PolicyNames())
+	}
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = 8
+	}
+	topo, err := topoFor(nodes)
+	if err != nil {
+		return nil, err
+	}
+	if nodes < 4 {
+		return nil, fmt.Errorf("serving: tier workload needs >= 4 nodes for donor diversity, got %d", nodes)
+	}
+	p := sim.Default()
+	cl := core.NewCluster(core.Config{Params: &p, Topology: &topo, StartAgents: true,
+		Seed: tierClusterSeed, HeartbeatInterval: 30 * sim.Second})
+	defer cl.Close()
+	cl.MN.Policy = pol
+	cl.RunFor(1 * sim.Second) // populate the RRT
+
+	app := cl.Node(0)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	res := &Result{}
+	var runErr error
+	stop := false
+	done := app.Run("serving-tier", func(pr *sim.Proc) {
+		// Co-located tenants lease first: their windows land wherever the
+		// policy sends them, before the serving tier asks. The hammer
+		// processes start only after warm-up — pressure during the
+		// measured (and calibration) phase is what the scenario studies,
+		// and an idle warm phase keeps the event count tractable.
+		tenantRng := sim.NewRNG(tierTenantSeed)
+		var tenantLeases []*core.MemoryLease
+		for t := 0; t < cfg.Tenants; t++ {
+			lease, err := cl.BorrowMemory(pr, app, tenantLeaseBytes)
+			if err != nil {
+				runErr = fmt.Errorf("serving: tenant %d lease: %w", t, err)
+				return
+			}
+			tenantLeases = append(tenantLeases, lease)
+		}
+		startTenants := func() {
+			for t, lease := range tenantLeases {
+				lease, trng := lease, tenantRng.Fork()
+				app.Run(fmt.Sprintf("tenant-%d", t), func(tp *sim.Proc) {
+					for !stop {
+						off := trng.Uint64n(lease.Size-tenantReadBytes) &^ 63
+						app.Mem.Read(tp, lease.WindowBase+off, tenantReadBytes)
+						tp.Sleep(sim.Dur(trng.Intn(tenantThinkMaxNS)))
+					}
+				})
+			}
+		}
+
+		// The serving tier's cache: a small local slice plus one leased
+		// remote window, placed by the same policy.
+		cache := workloads.NewRedisCache(app.Mem, tierValueBytes)
+		cache.AddArena(workloads.NewArena(tierLocalBase, tierLocalBytes))
+		lease, err := cl.BorrowMemory(pr, app, tierCacheLease)
+		if err != nil {
+			runErr = fmt.Errorf("serving: cache lease: %w", err)
+			stop = true
+			return
+		}
+		cache.AddArena(workloads.NewArena(lease.WindowBase, lease.Size))
+		db := &workloads.TierDB{
+			Redis:          cache,
+			MySQL:          &workloads.MySQLModel{QueryTime: tierMySQL},
+			ClientOverhead: tierClientOverhead,
+		}
+
+		// Warm to steady state, then calibrate capacity under the same
+		// co-location the measured phase will see.
+		db.RunQueries(pr, sim.NewRNG(tierWarmSeed), tierKeys, tierKeys*tierWarmPasses)
+		startTenants()
+		calZipf := sim.NewZipf(sim.NewRNG(tierCalSeed), tierKeys, tierZipfTheta)
+		t0 := pr.Now()
+		for j := 0; j < tierCalibration; j++ {
+			db.Query(pr, calZipf.Next())
+		}
+		res.ServiceNS = float64(pr.Now().Sub(t0)) / tierCalibration
+		res.OfferedRPS = cfg.Util * float64(workers) / res.ServiceNS * 1e9
+
+		reqQ := sim.NewQueue[request](cl.Eng)
+		shards := make([]*sim.LatencyHist, workers)
+		var lastDone sim.Time
+		grp := sim.NewGroup(cl.Eng)
+		for w := 0; w < workers; w++ {
+			w := w
+			shards[w] = &sim.LatencyHist{}
+			grp.Add(1)
+			app.Run(fmt.Sprintf("worker-%d", w), func(wp *sim.Proc) {
+				defer grp.Done()
+				for {
+					req := reqQ.Pop(wp)
+					if req.close {
+						return
+					}
+					db.Query(wp, req.key)
+					shards[w].AddDur(wp.Now().Sub(req.arrived))
+					if wp.Now() > lastDone {
+						lastDone = wp.Now()
+					}
+				}
+			})
+		}
+
+		arr := newSampler(cfg.Arrivals, res.OfferedRPS, sim.NewRNG(cfg.Seed))
+		keys := sim.NewZipf(sim.NewRNG(cfg.Seed^0x5eed), tierKeys, tierZipfTheta)
+		start := pr.Now()
+		for r := 0; r < cfg.Requests; r++ {
+			pr.Sleep(arr.Next())
+			reqQ.Push(pr, request{arrived: pr.Now(), key: keys.Next()})
+		}
+		for w := 0; w < workers; w++ {
+			reqQ.Push(pr, request{close: true})
+		}
+		grp.Wait(pr)
+		stop = true
+
+		res.AchievedRPS = float64(cfg.Requests) / lastDone.Sub(start).Seconds()
+		res.MaxQueue = reqQ.MaxDepth()
+		res.Lat = &sim.LatencyHist{}
+		for _, s := range shards {
+			res.Lat.Merge(s)
+		}
+	})
+	// Step only until the scenario finishes: agents and tenants would
+	// otherwise keep the event queue alive forever.
+	for !done.Done() && cl.Eng.Step() {
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if !done.Done() {
+		return nil, fmt.Errorf("serving: tier scenario deadlocked (%d live procs)", cl.Eng.LiveProcs())
+	}
+	return res, nil
+}
