@@ -6,7 +6,8 @@
 // Usage:
 //
 //	venice-bench [-list] [-run id,id] [-parallel N] [-json out.json]
-//	             [-baseline base.json] [-tolerance 0.01] [id ...]
+//	             [-baseline base.json] [-tolerance 0.01]
+//	             [-trial substr] [-seed N] [id ...]
 //
 // Every experiment is decomposed into independent deterministic trials
 // executed on a bounded worker pool, so -parallel N produces
@@ -14,12 +15,20 @@
 // determinism is what makes -baseline an exact regression gate: it
 // compares every trial metric of this run against a previously written
 // report and exits with status 3 if anything drifts beyond -tolerance.
+//
+// -trial and -seed isolate single trials for debugging: -trial runs only
+// the trials whose id contains the substring, and -seed overrides every
+// selected trial's seed, so one failing cell (say, a churn shard) can be
+// replayed alone and bisected across seeds. In isolation mode the raw
+// per-trial metrics print instead of the assembled table (assembly needs
+// the full matrix).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -36,12 +45,20 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-trial results and timing metadata to this file")
 	baseline := flag.String("baseline", "", "compare trial metrics against this report; exit 3 on drift")
 	tolerance := flag.Float64("tolerance", 0.01, "allowed relative drift per metric with -baseline")
+	trialFilter := flag.String("trial", "", "run only trials whose id contains this substring (prints raw metrics, skips assembly)")
+	seedOverride := flag.Uint64("seed", 0, "override the seed of every selected trial (use with -trial to reproduce one cell)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: venice-bench [-list] [-run id,id] [-parallel N] [-json out.json] [-baseline base.json] [-tolerance f] [id ...]\n")
+			"usage: venice-bench [-list] [-run id,id] [-parallel N] [-json out.json] [-baseline base.json] [-tolerance f] [-trial substr] [-seed N] [id ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	if *list {
 		for _, id := range harness.IDs() {
@@ -61,6 +78,16 @@ func main() {
 		ids = harness.IDs()
 	}
 	opts := harness.Options{Parallel: *parallel}
+	if *trialFilter != "" || seedSet {
+		// Isolation mode prints raw trial metrics and skips assembly, so
+		// there is no report to write or gate; refuse the combination
+		// rather than let a script mistake exit 0 for a passed gate.
+		if *jsonPath != "" || *baseline != "" {
+			fmt.Fprintf(os.Stderr, "venice-bench: -json/-baseline cannot be combined with -trial/-seed (isolation mode has no assembled report)\n")
+			os.Exit(2)
+		}
+		os.Exit(runIsolated(ids, *trialFilter, *seedOverride, seedSet, opts))
+	}
 	var results []*harness.Result
 	start := time.Now()
 	for _, id := range ids {
@@ -98,4 +125,58 @@ func main() {
 		fmt.Printf("baseline check: %d metrics within %.2f%% of %s\n",
 			rep.MetricCount(), 100**tolerance, *baseline)
 	}
+}
+
+// runIsolated executes the selected trials alone — filtered by id
+// substring, optionally re-seeded — and prints their raw metrics. It
+// returns the process exit code: 0 on success, 1 when nothing matched,
+// 2 when a trial failed.
+func runIsolated(ids []string, filter string, seed uint64, seedSet bool, opts harness.Options) int {
+	matched, failed := 0, 0
+	for _, id := range ids {
+		spec, ok := harness.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "venice-bench: unknown experiment %q\n", id)
+			return 1
+		}
+		var trials []harness.Trial
+		for _, tr := range spec.Trials {
+			if filter != "" && !strings.Contains(tr.ID, filter) {
+				continue
+			}
+			if seedSet {
+				tr.Seed = seed
+			}
+			trials = append(trials, tr)
+		}
+		if len(trials) == 0 {
+			continue
+		}
+		matched += len(trials)
+		res := harness.Execute(id, harness.Spec{Title: spec.Title, Trials: trials}, opts)
+		for _, tr := range res.Trials {
+			fmt.Printf("%s/%s (seed %d, %.1fms)\n", id, tr.Trial, tr.Seed, tr.WallMS)
+			if tr.Error != "" {
+				fmt.Printf("  ERROR: %s\n", tr.Error)
+				failed++
+				continue
+			}
+			keys := make([]string, 0, len(tr.Values))
+			for k := range tr.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %-18s %v\n", k, tr.Values[k])
+			}
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "venice-bench: no trial matches -trial %q in %v\n", filter, ids)
+		return 1
+	}
+	if failed > 0 {
+		return 2
+	}
+	return 0
 }

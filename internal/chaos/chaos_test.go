@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// TestCompileDeterministic: the same schedule compiles to the identical
+// action list every time — the property that keeps churn trials
+// byte-identical under harness parallelism.
+func TestCompileDeterministic(t *testing.T) {
+	s := Schedule{
+		Seed:    42,
+		Horizon: 100 * sim.Millisecond,
+		Nodes:   []NodeFault{{Node: 2, MTTF: 10 * sim.Millisecond, MTTR: 2 * sim.Millisecond}},
+		Links:   []LinkFault{{A: 0, B: 1, MTTF: 7 * sim.Millisecond, MTTR: 1 * sim.Millisecond}},
+		Beats:   []BeatFault{{Node: 3, MTTF: 20 * sim.Millisecond, MTTR: 5 * sim.Millisecond}},
+	}
+	a, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule compiled to nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("action %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed moves the instants.
+	s.Seed = 43
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// TestCompilePrefixStable: adding a fault stream must not disturb the
+// instants of the streams declared before it.
+func TestCompilePrefixStable(t *testing.T) {
+	base := Schedule{
+		Seed:    7,
+		Horizon: 50 * sim.Millisecond,
+		Nodes:   []NodeFault{{Node: 1, MTTF: 5 * sim.Millisecond, MTTR: 1 * sim.Millisecond}},
+	}
+	a, err := base.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := base
+	grown.Nodes = append(grown.Nodes, NodeFault{Node: 2, MTTF: 5 * sim.Millisecond, MTTR: 1 * sim.Millisecond})
+	b, err := grown.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prefix action %d moved after growing the schedule: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCompileBounds: Count and Horizon both bound recurring streams, and
+// an unbounded stream with no horizon is rejected.
+func TestCompileBounds(t *testing.T) {
+	s := Schedule{
+		Seed:  1,
+		Nodes: []NodeFault{{Node: 0, MTTF: sim.Millisecond, MTTR: sim.Millisecond, Count: 3}},
+	}
+	acts, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 6 {
+		t.Fatalf("3 cycles should give 6 actions, got %d", len(acts))
+	}
+	s.Nodes[0].Count = 0
+	if _, err := s.Compile(); err == nil {
+		t.Fatal("unbounded stream with no horizon must be rejected")
+	}
+	s.Horizon = 10 * sim.Millisecond
+	acts, err = s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range acts {
+		if a.Op == NodeDown && a.At > s.Horizon {
+			t.Fatalf("fault injected at %v, past horizon %v", a.At, s.Horizon)
+		}
+	}
+}
+
+// TestRollingShape: rolling churn alternates nodes, one outage at a
+// time.
+func TestRollingShape(t *testing.T) {
+	acts := Rolling([]fabric.NodeID{2, 3}, 10*sim.Millisecond, 3*sim.Millisecond, 4)
+	if len(acts) != 8 {
+		t.Fatalf("4 cycles should give 8 actions, got %d", len(acts))
+	}
+	for k := 0; k < 4; k++ {
+		down, up := acts[2*k], acts[2*k+1]
+		if down.Op != NodeDown || up.Op != NodeUp || down.Node != up.Node {
+			t.Fatalf("cycle %d malformed: %+v %+v", k, down, up)
+		}
+		if want := fabric.NodeID(2 + k%2); down.Node != want {
+			t.Fatalf("cycle %d hit node %v, want %v", k, down.Node, want)
+		}
+		if up.At-down.At != 3*sim.Millisecond {
+			t.Fatalf("cycle %d outage %v, want 3ms", k, up.At-down.At)
+		}
+		// The next crash begins only after this repair.
+		if k > 0 && down.At <= acts[2*k-1].At {
+			t.Fatalf("cycle %d overlaps previous outage", k)
+		}
+	}
+}
+
+// TestInstallDrivesFabric: an installed schedule actually takes nodes
+// and links down and brings them back, at its precomputed instants.
+func TestInstallDrivesFabric(t *testing.T) {
+	eng := sim.New()
+	defer eng.Close()
+	p := sim.Default()
+	net := fabric.NewNetwork(eng, &p, fabric.Mesh3D(2, 2, 1), sim.NewRNG(1))
+	for i := 0; i < 4; i++ {
+		net.SetDelivery(fabric.NodeID(i), func(*fabric.Packet) {})
+	}
+	in := New(eng, net, nil)
+	n, err := in.Install(Schedule{
+		Actions: []Action{
+			{At: 1 * sim.Millisecond, Op: NodeDown, Node: 2},
+			{At: 2 * sim.Millisecond, Op: LinkDown, A: 0, B: 1},
+			{At: 3 * sim.Millisecond, Op: NodeUp, Node: 2},
+			{At: 4 * sim.Millisecond, Op: LinkUp, A: 0, B: 1},
+		},
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("install: n=%d err=%v", n, err)
+	}
+	eng.RunFor(1500 * sim.Microsecond)
+	if !net.NodeDown(2) || net.Link(0, 1).Down() {
+		t.Fatal("1.5ms: node 2 should be down, link 0-1 up")
+	}
+	eng.RunFor(1 * sim.Millisecond) // 2.5ms
+	if !net.Link(0, 1).Down() {
+		t.Fatal("2.5ms: link 0-1 should be down")
+	}
+	eng.RunFor(2 * sim.Millisecond) // 4.5ms
+	if net.NodeDown(2) || net.Link(0, 1).Down() {
+		t.Fatal("4.5ms: everything should be repaired")
+	}
+	if len(in.Trace) != 4 {
+		t.Fatalf("trace has %d entries, want 4", len(in.Trace))
+	}
+	if in.Trace[0].At != sim.Time(0).Add(1*sim.Millisecond) {
+		t.Fatalf("first action applied at %v, want 1ms", in.Trace[0].At)
+	}
+}

@@ -30,6 +30,16 @@ type Config struct {
 	StartAgents bool
 	// HeartbeatInterval overrides the agents' default period when >0.
 	HeartbeatInterval sim.Dur
+	// HeartbeatTimeout overrides the MN's death-detection threshold when
+	// >0 (it should be several heartbeat intervals).
+	HeartbeatTimeout sim.Dur
+	// StartRecovery launches the MN's failure-detection and
+	// lease-failover loop (see monitor.Monitor.StartRecovery). The loop
+	// keeps the event queue alive, so drive such clusters with RunFor or
+	// step-until-done, not Run.
+	StartRecovery bool
+	// SweepInterval overrides the recovery loop's scan period when >0.
+	SweepInterval sim.Dur
 }
 
 // Cluster is a running Venice rack.
@@ -74,10 +84,19 @@ func NewCluster(cfg Config) *Cluster {
 		c.Agents = append(c.Agents, a)
 	}
 	c.MN = monitor.New(c.Nodes[cfg.MonitorNode].EP, topo)
+	if cfg.HeartbeatTimeout > 0 {
+		c.MN.HeartbeatTimeout = cfg.HeartbeatTimeout
+	}
+	if cfg.SweepInterval > 0 {
+		c.MN.SweepInterval = cfg.SweepInterval
+	}
 	if cfg.StartAgents {
 		for _, a := range c.Agents {
 			a.Start(cfg.MonitorNode)
 		}
+	}
+	if cfg.StartRecovery {
+		c.MN.StartRecovery()
 	}
 	return c
 }

@@ -107,6 +107,21 @@ func (n *Network) SetLinkDown(a, b NodeID, down bool) {
 	}
 }
 
+// SetNodeDown crashes or restores node id: while down, the node's
+// embedded switch drops every packet it touches — injections, transit
+// traffic being forwarded through it, and local deliveries. Links to the
+// node are untouched (their PHYs still ack at the datalink layer), so a
+// concurrent SetLinkDown composes independently.
+func (n *Network) SetNodeDown(id NodeID, down bool) {
+	if int(id) >= len(n.switches) || id < 0 {
+		panic(fmt.Sprintf("fabric: SetNodeDown of unknown node %v", id))
+	}
+	n.switches[id].SetDown(down)
+}
+
+// NodeDown reports whether node id is currently marked crashed.
+func (n *Network) NodeDown(id NodeID) bool { return n.switches[id].IsDown() }
+
 // SetErrorRate applies CRC fault injection to every link.
 func (n *Network) SetErrorRate(r float64) {
 	for _, l := range n.links {

@@ -77,6 +77,16 @@ func (m *MemManager) HotRemove(p *sim.Proc, size uint64) (uint64, error) {
 	return base, nil
 }
 
+// Reboot resets the manager to a fresh-boot state: hot-removed regions
+// come back (a reboot rebuilds the OS memory map from the full DIMM) and
+// application reservations are gone (the processes holding them died
+// with the node). Used by the agent's crash-recovery path.
+func (m *MemManager) Reboot() {
+	m.used = 0
+	m.removed = nil
+	m.nextTop = m.Total
+}
+
 // HotAddReturn returns a previously hot-removed region to the local OS
 // (the stop-sharing path). The region must match a removal exactly.
 func (m *MemManager) HotAddReturn(p *sim.Proc, base, size uint64) error {

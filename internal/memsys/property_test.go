@@ -20,9 +20,35 @@ func newEndpointAt(eng *sim.Engine, p *sim.Params, net *fabric.Network, id fabri
 }
 
 // Property: the paged backend never holds more than its resident budget,
-// and every access leaves the touched page resident.
+// and every access that reaches the pager leaves the touched page
+// resident. (An access the cache absorbs never reaches the pager, and
+// its page may legitimately have been evicted while its lines stayed
+// cached — so residency is only asserted when the pager's counters
+// moved.)
 func TestPagedResidentBudgetProperty(t *testing.T) {
-	prop := func(seed uint64, budget uint8, ops uint8) bool {
+	prop := pagedBudgetProp(t)
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPagedResidentBudgetRegression pins inputs that once broke the
+// property. The first revealed the over-strong original invariant:
+// quick's time-based seeding eventually found an address whose page was
+// evicted while its cache lines stayed valid, so a later re-touch was
+// absorbed by the cache without the pager re-admitting the page.
+func TestPagedResidentBudgetRegression(t *testing.T) {
+	prop := pagedBudgetProp(t)
+	if !prop(0x9709c59254eab0b2, 0xf6, 0xa4) {
+		t.Fatal("cache-absorbed re-touch of an evicted page fails the budget property")
+	}
+}
+
+// pagedBudgetProp builds the resident-budget property; split out so
+// once-failing inputs can be pinned as regressions.
+func pagedBudgetProp(t *testing.T) func(uint64, uint8, uint8) bool {
+	t.Helper()
+	return func(seed uint64, budget uint8, ops uint8) bool {
 		resident := int(budget%30) + 2
 		n := int(ops%60) + 1
 		rng := sim.NewRNG(seed)
@@ -39,6 +65,7 @@ func TestPagedResidentBudgetProperty(t *testing.T) {
 		eng.Go("ops", func(pr *sim.Proc) {
 			for i := 0; i < n; i++ {
 				addr := uint64(rng.Intn(1<<18)) * 4096
+				before := paged.Stats.MinorHits + paged.Stats.MajorFault
 				if rng.Bool(0.3) {
 					h.Write(pr, addr, 8)
 				} else {
@@ -47,7 +74,8 @@ func TestPagedResidentBudgetProperty(t *testing.T) {
 				if paged.Resident() > resident {
 					ok = false
 				}
-				if !paged.IsResident(addr) {
+				reached := paged.Stats.MinorHits+paged.Stats.MajorFault > before
+				if reached && !paged.IsResident(addr) {
 					ok = false
 				}
 			}
@@ -55,9 +83,6 @@ func TestPagedResidentBudgetProperty(t *testing.T) {
 		})
 		eng.Run()
 		return ok
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
-		t.Fatal(err)
 	}
 }
 

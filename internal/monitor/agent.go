@@ -27,6 +27,18 @@ type Agent struct {
 	mn      fabric.NodeID
 	stopped bool
 
+	// crashed models the node being down: the daemon skips beats (and the
+	// fabric drops anything it would have sent anyway). muted models
+	// heartbeat loss alone — the node is healthy but its reports are not
+	// getting through, the false-positive case the MN's incarnation check
+	// exists to disambiguate.
+	crashed bool
+	muted   bool
+
+	// incarnation counts reboots; it rides every heartbeat so the MN can
+	// detect a crash-and-return faster than the heartbeat timeout.
+	incarnation int64
+
 	exports map[string]*transport.RAMTEntry // donor-side export bookkeeping
 
 	// Stats counts agent activity.
@@ -45,6 +57,8 @@ func NewAgent(ep *transport.Endpoint, mm *memsys.MemManager, net *fabric.Network
 	}
 	ep.HandleCall(kindHotRemove, a.onHotRemove)
 	ep.HandleCall(kindHotReturn, a.onHotReturn)
+	ep.HandleCall(kindRelocate, a.onRelocate)
+	ep.HandleCall(kindRevoke, a.onRevoke)
 	return a
 }
 
@@ -55,7 +69,9 @@ func (a *Agent) Start(mnID fabric.NodeID) {
 	a.EP.Eng.Go(fmt.Sprintf("agent@%v", a.EP.ID), func(p *sim.Proc) {
 		p.Sleep(sim.Dur(int64(a.EP.ID)+1) * sim.Millisecond)
 		for !a.stopped {
-			a.beat(p)
+			if !a.crashed && !a.muted {
+				a.beat(p)
+			}
 			p.Sleep(a.Interval)
 		}
 	})
@@ -64,6 +80,37 @@ func (a *Agent) Start(mnID fabric.NodeID) {
 // Stop ends the heartbeat loop after the current period.
 func (a *Agent) Stop() { a.stopped = true }
 
+// Crash models the node going down: the daemon stops beating until
+// Restart. The fabric-side half (dropping the node's packets) is the
+// chaos injector's job; Crash only covers the software that dies.
+func (a *Agent) Crash() { a.crashed = true }
+
+// Restart models the node rebooting: the transport channel's soft state
+// and the OS memory map reset (donations and leases do not survive a
+// power cycle), the incarnation counter ticks so the MN learns about the
+// reboot even if the outage was shorter than its heartbeat timeout, and
+// beating resumes.
+func (a *Agent) Restart() {
+	a.incarnation++
+	a.exports = make(map[string]*transport.RAMTEntry)
+	a.EP.CRMA.Reset()
+	a.MemMgr.Reboot()
+	a.crashed = false
+	a.Stats.Add("reboots", 1)
+}
+
+// Crashed reports whether the agent currently models a downed node.
+func (a *Agent) Crashed() bool { return a.crashed }
+
+// Incarnation reports the agent's reboot count.
+func (a *Agent) Incarnation() int64 { return a.incarnation }
+
+// Mute suppresses (or restores) heartbeats without touching node state —
+// the pure heartbeat-loss fault. A muted agent still services donor
+// requests; the MN may falsely declare it dead and re-place its leases,
+// which is exactly the scenario the orphan-return path cleans up.
+func (a *Agent) Mute(muted bool) { a.muted = muted }
+
 // beat sends one heartbeat: idle memory, device counts, link probes.
 func (a *Agent) beat(p *sim.Proc) {
 	devs := make(map[DeviceKind]int, len(a.Devices))
@@ -71,12 +118,17 @@ func (a *Agent) beat(p *sim.Proc) {
 		devs[k] = v
 	}
 	hb := &Heartbeat{
-		Node:      a.EP.ID,
-		IdleBytes: a.MemMgr.Idle(),
-		Devices:   devs,
-		Links:     a.probeLinks(),
+		Node:        a.EP.ID,
+		IdleBytes:   a.MemMgr.Idle(),
+		Devices:     devs,
+		Links:       a.probeLinks(),
+		Incarnation: a.incarnation,
 	}
-	a.EP.Call(p, a.mn, kindHeartbeat, 64, hb)
+	// Bounded wait: a beat whose ack is lost (down link on the MN path,
+	// or our own node dying mid-flight) must not wedge the daemon.
+	if _, ok := a.EP.CallTimeout(p, a.mn, kindHeartbeat, 64, hb, a.Interval); !ok {
+		a.Stats.Add("beats.lost", 1)
+	}
 	a.Stats.Add("beats", 1)
 }
 
@@ -121,20 +173,61 @@ func (a *Agent) onHotRemove(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	return &hotRemoveResp{OK: true, Base: base}, 32
 }
 
+// onRelocate services the MN's lease-failover notice on the recipient:
+// retarget the window's RAMT entry at the new donor and replay every
+// access that was in flight toward the dead one. The window's user never
+// sees an API change — blocked loads simply complete late, which is the
+// transparency §3 promises extended to the failure path.
+func (a *Agent) onRelocate(_ *sim.Proc, _ fabric.NodeID, req any) (any, int) {
+	r := req.(*relocateReq)
+	e, ok := a.EP.CRMA.Lookup(r.RecipientBase)
+	if !ok || e.LocalBase != r.RecipientBase || e.Size != r.Size {
+		// The window is gone (released concurrently with the failover);
+		// nothing to retarget. The MN's RAT row will clear on free.
+		a.Stats.Add("relocate.stale", 1)
+		return &relocateResp{OK: false}, 16
+	}
+	a.EP.CRMA.Retarget(e, r.NewDonor, r.NewDonorBase)
+	replayed := a.EP.CRMA.ReplayWindow(r.RecipientBase, r.Size)
+	a.Stats.Add("relocate.ok", 1)
+	a.Stats.Add("relocate.replayed", int64(replayed))
+	return &relocateResp{OK: true}, 16
+}
+
+// onRevoke services the MN's revoke-without-replacement notice: the
+// window goes dead so parked accesses unwedge and future ones fail fast.
+func (a *Agent) onRevoke(_ *sim.Proc, _ fabric.NodeID, req any) (any, int) {
+	r := req.(*revokeReq)
+	a.EP.CRMA.KillWindow(r.RecipientBase, r.Size)
+	a.Stats.Add("revoked", 1)
+	return &ack{}, 8
+}
+
 // onHotReturn tears down a donation: invalidate the export and hot-add
 // the region back into the local OS.
 func (a *Agent) onHotReturn(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	r := req.(*hotReturnReq)
 	key := exportKey(r.Recipient, r.RecipientBase)
-	if e, ok := a.exports[key]; ok {
-		a.EP.CRMA.Unmap(e)
-		delete(a.exports, key)
-	} else {
-		// The recipient base is not always known on free (the MN's RAT
-		// does not store it); fall back to scanning for the recipient.
-		a.EP.CRMA.UnexportAll(r.Recipient)
+	e, ok := a.exports[key]
+	if !ok {
+		// Stale or duplicate return (e.g. an orphan replayed after a
+		// reboot already wiped the export, or a cancellation for a
+		// hot-remove this agent never performed): refuse rather than
+		// guess — scanning by recipient could unexport a live sibling
+		// lease.
+		a.Stats.Add("hotreturn.stale", 1)
+		return &ack{}, 8
 	}
-	if err := a.MemMgr.HotAddReturn(p, r.Base, r.Size); err != nil {
+	base, size := r.Base, r.Size
+	if size == 0 {
+		// Cancellation form: the MN never saw our hot-remove ACK, so it
+		// cannot name the region; our export entry can.
+		base, size = e.RemoteBase, e.Size
+		a.Stats.Add("hotreturn.cancelled", 1)
+	}
+	a.EP.CRMA.Unmap(e)
+	delete(a.exports, key)
+	if err := a.MemMgr.HotAddReturn(p, base, size); err != nil {
 		a.Stats.Add("hotreturn.failed", 1)
 		return &ack{}, 8
 	}

@@ -16,6 +16,16 @@ type Registration struct {
 	Devices   map[DeviceKind]int
 	LastBeat  sim.Time
 	Beats     int64
+
+	// Incarnation is the node's reboot count as of its last heartbeat.
+	Incarnation int64
+	// Dead latches once the recovery sweep declares the node failed; it
+	// clears when heartbeats resume.
+	Dead bool
+	// needsRecovery marks a node whose heartbeat announced a reboot
+	// (incarnation bump) — its donations are gone even though it is
+	// beating. The sweep consumes the flag.
+	needsRecovery bool
 }
 
 // Allocation is one row of the Resource Allocation Table.
@@ -58,6 +68,30 @@ type Monitor struct {
 	// HeartbeatTimeout marks a node dead when its reports stop.
 	HeartbeatTimeout sim.Dur
 
+	// SweepInterval is the recovery loop's scan period (see
+	// StartRecovery); it defaults to half the heartbeat timeout.
+	SweepInterval sim.Dur
+
+	// GrantTimeout bounds the MN's calls into agents (hot-remove at grant
+	// and failover time, hot-return, relocate): a donor that dies while
+	// servicing a request must not wedge the Monitor Node forever. It
+	// must comfortably exceed one hot-plug operation plus a round trip.
+	GrantTimeout sim.Dur
+
+	// recovery loop state.
+	recoveryOn bool
+	// orphans queues hot-returns owed to donors that were declared dead
+	// and had their leases re-placed. If such a donor reappears with the
+	// same incarnation (heartbeat loss, not a reboot), its regions are
+	// still hot-removed and exported; the queued returns clean them up.
+	orphans map[fabric.NodeID][]*hotReturnReq
+	// pendingRelocates / pendingRevokes park recovery notices whose
+	// delivery to a recipient timed out (e.g. a link flap on the path).
+	// The sweep retries them: committing a failover while the recipient
+	// still aims at the dead donor would wedge the recipient forever.
+	pendingRelocates map[int]*pendingNotice[relocateReq]
+	pendingRevokes   map[int]*pendingNotice[revokeReq]
+
 	// Stats counts runtime activity, including allocation retries caused
 	// by stale RRT records (§5.3's handshake-and-retry).
 	Stats sim.Scoreboard
@@ -72,6 +106,10 @@ func New(ep *transport.Endpoint, topo fabric.Topology) *Monitor {
 		rat:              make(map[int]*Allocation),
 		tst:              make(map[[2]fabric.NodeID]*LinkStatus),
 		HeartbeatTimeout: 3 * sim.Second,
+		GrantTimeout:     10*ep.P.HotplugOp + sim.Millisecond,
+		orphans:          make(map[fabric.NodeID][]*hotReturnReq),
+		pendingRelocates: make(map[int]*pendingNotice[relocateReq]),
+		pendingRevokes:   make(map[int]*pendingNotice[revokeReq]),
 	}
 	ep.HandleCall(kindHeartbeat, m.onHeartbeat)
 	ep.HandleCall(kindAllocMem, m.onAllocMem)
@@ -107,6 +145,15 @@ func (m *Monitor) Allocations() []Allocation {
 	return out
 }
 
+// Allocation returns a copy of one live RAT row by id.
+func (m *Monitor) Allocation(id int) (Allocation, bool) {
+	a, ok := m.rat[id]
+	if !ok {
+		return Allocation{}, false
+	}
+	return *a, true
+}
+
 // LinkUp reports the TST state of link a<->b (true when never reported).
 func (m *Monitor) LinkUp(a, b fabric.NodeID) bool {
 	if s, ok := m.tst[linkKey(a, b)]; ok {
@@ -131,13 +178,38 @@ func linkKey(a, b fabric.NodeID) [2]fabric.NodeID {
 	return [2]fabric.NodeID{a, b}
 }
 
-// onHeartbeat folds an agent report into the RRT and TST.
-func (m *Monitor) onHeartbeat(_ *sim.Proc, from fabric.NodeID, req any) (any, int) {
+// onHeartbeat folds an agent report into the RRT and TST. It also drives
+// the fast half of failure detection: a heartbeat from a node the sweep
+// declared dead clears the death latch (and, when the incarnation is
+// unchanged — the node never actually rebooted — settles any hot-returns
+// owed from falsely re-placed leases), while an incarnation bump flags
+// the node for recovery even though it never missed enough beats.
+func (m *Monitor) onHeartbeat(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
 	hb := req.(*Heartbeat)
 	r, ok := m.rrt[hb.Node]
 	if !ok {
-		r = &Registration{Node: hb.Node}
+		r = &Registration{Node: hb.Node, Incarnation: hb.Incarnation}
 		m.rrt[hb.Node] = r
+	}
+	if hb.Incarnation > r.Incarnation {
+		// The node rebooted: its memory (and every donation carved from
+		// it) is gone, whether or not we noticed the outage — including
+		// any hot-returns we owed its previous life.
+		r.Incarnation = hb.Incarnation
+		r.needsRecovery = true
+		delete(m.orphans, hb.Node)
+		m.Stats.Add("recover.reboots_seen", 1)
+	}
+	if r.Dead {
+		r.Dead = false
+		m.Stats.Add("recover.reappeared", 1)
+		if !r.needsRecovery {
+			// Same incarnation: the node was healthy all along (lost
+			// heartbeats). Return the regions we re-placed out from under
+			// it so they stop leaking. (The recovery sweep also settles
+			// orphans owed to nodes that were never declared dead.)
+			m.flushOrphans(p, hb.Node)
+		}
 	}
 	r.IdleBytes = hb.IdleBytes
 	r.Devices = hb.Devices
@@ -186,8 +258,28 @@ func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int
 		if cand.IdleBytes < r.Size {
 			continue
 		}
+		// Cross-check liveness at grant time: the candidate list was
+		// drawn before any blocking call, and a donor that died while an
+		// earlier candidate was being tried would get a doomed lease.
+		if !m.NodeAlive(cand.Node) {
+			m.Stats.Add("alloc.dead_skips", 1)
+			continue
+		}
 		hr := &hotRemoveReq{Size: r.Size, Recipient: from, RecipientBase: r.WindowBase}
-		resp := m.EP.Call(p, cand.Node, kindHotRemove, 64, hr).(*hotRemoveResp)
+		inc := m.incarnationOf(cand.Node)
+		raw, ok := m.EP.CallTimeout(p, cand.Node, kindHotRemove, 64, hr, m.GrantTimeout)
+		if !ok {
+			// The donor died mid-handshake (its agent never answered);
+			// without the timeout this request would wedge the MN forever.
+			// We cannot know whether the hot-remove happened and its ACK
+			// was lost, so park a cancellation (key-resolved hot-return)
+			// for when the donor is reachable again.
+			m.Stats.Add("alloc.grant_timeouts", 1)
+			m.queueOrphan(cand.Node, inc, &hotReturnReq{Recipient: from, RecipientBase: r.WindowBase})
+			cand.IdleBytes = 0
+			continue
+		}
+		resp := raw.(*hotRemoveResp)
 		if !resp.OK {
 			// Stale RRT record; mark what we learned and retry.
 			m.Stats.Add("alloc.retries", 1)
@@ -217,10 +309,17 @@ func (m *Monitor) onFreeMem(p *sim.Proc, from fabric.NodeID, req any) (any, int)
 		return &ack{}, 8
 	}
 	delete(m.rat, f.AllocID)
-	m.EP.Call(p, a.Donor, kindHotReturn, 64, &hotReturnReq{
+	ret := &hotReturnReq{
 		Recipient: a.Recipient, RecipientBase: a.RecipientBase,
 		Base: a.DonorBase, Size: a.Size,
-	})
+	}
+	inc := m.incarnationOf(a.Donor)
+	if _, ok := m.EP.CallTimeout(p, a.Donor, kindHotReturn, 64, ret, m.GrantTimeout); !ok {
+		// Donor unreachable: park the return with the orphan queue so it
+		// settles if the donor reappears un-rebooted.
+		m.queueOrphan(a.Donor, inc, ret)
+		m.Stats.Add("free.donor_unreachable", 1)
+	}
 	if r, ok := m.rrt[a.Donor]; ok {
 		r.IdleBytes += a.Size
 	}
@@ -233,6 +332,12 @@ func (m *Monitor) onAllocDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int
 	r := req.(*AllocDevReq)
 	for _, cand := range m.donorCandidates(from) {
 		if cand.Devices[r.Kind] <= 0 {
+			continue
+		}
+		// Same grant-time liveness cross-check as memory: never hand out
+		// a device on a donor whose heartbeats have stopped.
+		if !m.NodeAlive(cand.Node) {
+			m.Stats.Add("alloc.dead_skips", 1)
 			continue
 		}
 		cand.Devices[r.Kind]--

@@ -22,6 +22,8 @@ const (
 
 	kindHotRemove = "agent.hotremove"
 	kindHotReturn = "agent.hotreturn"
+	kindRelocate  = "agent.relocate"
+	kindRevoke    = "agent.revoke"
 )
 
 // DeviceKind distinguishes shareable device classes in the RRT.
@@ -57,6 +59,12 @@ type Heartbeat struct {
 	IdleBytes uint64
 	Devices   map[DeviceKind]int
 	Links     []LinkProbe
+	// Incarnation counts the node's reboots. The MN compares it against
+	// the RRT's recorded value to tell a crash-and-reboot apart from a
+	// stretch of lost heartbeats: a higher incarnation means the node's
+	// memory (and with it every donation it was serving) is gone, even if
+	// the outage was shorter than the heartbeat timeout.
+	Incarnation int64
 }
 
 // AllocMemReq asks the MN for remote memory. The requester pre-selects
@@ -135,11 +143,44 @@ type hotRemoveResp struct {
 	Base uint64
 }
 
-// hotReturnReq is the MN->donor-agent request to take memory back.
+// hotReturnReq is the MN->donor-agent request to take memory back. A
+// zero Size asks the agent to resolve the region from its own export
+// bookkeeping by (Recipient, RecipientBase) — the cancellation form the
+// MN sends when a hot-remove's ACK was lost and it cannot know whether
+// (or where) the donor carved the region.
 type hotReturnReq struct {
 	Recipient     fabric.NodeID
 	RecipientBase uint64
 	Base          uint64
+	Size          uint64
+}
+
+// relocateReq is the MN->recipient-agent notice that a lease's donor has
+// been replaced: the agent retargets the window's RAMT entry at the new
+// donor and replays every in-flight access that was addressed to the old
+// one — the recovery half of §5.3's runtime, which the paper's prototype
+// leaves to future work.
+type relocateReq struct {
+	AllocID       int
+	RecipientBase uint64
+	Size          uint64
+	OldDonor      fabric.NodeID
+	NewDonor      fabric.NodeID
+	NewDonorBase  uint64
+}
+
+// relocateResp acknowledges a relocation.
+type relocateResp struct {
+	OK bool
+}
+
+// revokeReq is the MN->recipient-agent notice that a lease is gone for
+// good: the donor died and no surviving candidate could back the window.
+// The agent marks the window dead so blocked accesses unwedge and future
+// ones fail fast instead of parking forever.
+type revokeReq struct {
+	AllocID       int
+	RecipientBase uint64
 	Size          uint64
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fabric"
 	"repro/internal/sim"
@@ -37,6 +38,13 @@ type RAMTEntry struct {
 	Size       uint64
 	Node       fabric.NodeID
 	RemoteBase uint64
+
+	// Dead marks a requester-side window whose lease was revoked with no
+	// replacement donor (the donor died and re-placement failed). The
+	// window stays mapped so accesses do not trap, but they complete
+	// immediately with poison data; CRMAStats.DeadAccesses counts them so
+	// callers can report the failure honestly.
+	Dead bool
 }
 
 // contains reports whether addr falls inside the entry's local window.
@@ -51,12 +59,15 @@ func (e *RAMTEntry) translate(addr uint64) uint64 {
 
 // CRMAStats counts CRMA channel activity.
 type CRMAStats struct {
-	Fills     int64
-	Writes    int64
-	Posted    int64
-	Served    int64 // requests serviced for remote nodes (donor role)
-	FillLat   sim.Hist
-	RemoteBkt sim.Scoreboard // per-donor fill counts
+	Fills        int64
+	Writes       int64
+	Posted       int64
+	Served       int64 // requests serviced for remote nodes (donor role)
+	Unexported   int64 // requests dropped at the donor for lack of an export (rebooted donor)
+	Replayed     int64 // in-flight accesses re-issued after a window retarget
+	DeadAccesses int64 // accesses to a revoked (dead) window, completed with poison
+	FillLat      sim.Hist
+	RemoteBkt    sim.Scoreboard // per-donor fill counts
 }
 
 // CRMA is the cacheline remote memory access channel: once a mapping is
@@ -78,11 +89,14 @@ type CRMA struct {
 }
 
 // crmaPending tracks one outstanding access for completion and latency
-// accounting.
+// accounting. addr and size are kept so the access can be re-issued
+// against a new donor if the window is retargeted while it is in flight.
 type crmaPending struct {
 	done  *sim.Completion
 	start sim.Time
 	write bool
+	addr  uint64
+	size  int
 }
 
 func newCRMA(ep *Endpoint) *CRMA {
@@ -126,6 +140,88 @@ func (c *CRMA) UnexportAll(recipient fabric.NodeID) {
 	}
 }
 
+// Reset wipes the channel's soft state — every mapping, every export,
+// every pending access — modeling the node rebooting: the RAMT is
+// hardware state that does not survive power loss. Completions of wiped
+// pending accesses never fire (their waiters died with the node).
+func (c *CRMA) Reset() {
+	c.ramt = nil
+	c.exports = nil
+	c.pending = make(map[uint64]*crmaPending)
+}
+
+// pendingInWindow collects the ids of in-flight accesses whose address
+// falls inside [base, base+size), ascending — the deterministic order
+// both recovery paths (replay and kill) walk them in.
+func (c *CRMA) pendingInWindow(base, size uint64) []uint64 {
+	ids := make([]uint64, 0, len(c.pending))
+	for id, pend := range c.pending {
+		if pend.addr >= base && pend.addr < base+size {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Retarget points a requester-side window at a new donor region — the
+// transport half of lease failover. In-flight accesses are NOT replayed
+// here; call ReplayWindow once the new donor's export is known live.
+func (c *CRMA) Retarget(e *RAMTEntry, donor fabric.NodeID, remoteBase uint64) {
+	e.Node = donor
+	e.RemoteBase = remoteBase
+	e.Dead = false
+}
+
+// ReplayWindow re-issues every pending access that falls inside the
+// window [base, base+size) against the window's current donor. Requests
+// lost to a dead donor complete when their replay's response arrives; a
+// request the old donor did answer (response still in flight) is
+// completed by whichever response lands first, and the duplicate is
+// dropped by id. Iteration is in ascending request id so replays hit the
+// wire in a deterministic order.
+func (c *CRMA) ReplayWindow(base, size uint64) int {
+	ids := c.pendingInWindow(base, size)
+	replayed := 0
+	for _, id := range ids {
+		pend := c.pending[id]
+		e, ok := c.Lookup(pend.addr)
+		if !ok || e.Dead {
+			continue
+		}
+		c.Stats.Replayed++
+		replayed++
+		reqSize := 16
+		if pend.write {
+			reqSize = 16 + pend.size
+		}
+		req := &crmaReq{id: id, addr: pend.addr, size: pend.size, write: pend.write}
+		node := e.Node
+		c.ep.Eng.Schedule(c.ep.P.CRMALogic, func() {
+			c.ep.SendRaw(node, "crma.req", reqSize, req)
+		})
+	}
+	return replayed
+}
+
+// KillWindow marks a requester-side window revoked-without-replacement:
+// the entry goes dead (future accesses complete instantly as poison, see
+// RAMTEntry.Dead) and every pending access inside it is completed so no
+// process stays parked on a donor that will never answer.
+func (c *CRMA) KillWindow(base, size uint64) {
+	for _, e := range c.ramt {
+		if e.Valid && e.LocalBase == base && e.Size == size {
+			e.Dead = true
+		}
+	}
+	for _, id := range c.pendingInWindow(base, size) {
+		pend := c.pending[id]
+		delete(c.pending, id)
+		c.Stats.DeadAccesses++
+		pend.done.Complete()
+	}
+}
+
 // Lookup finds the RAMT entry covering addr, if any — the hardware hit
 // check of Fig. 8.
 func (c *CRMA) Lookup(addr uint64) (*RAMTEntry, bool) {
@@ -155,6 +251,14 @@ func (c *CRMA) accessAsync(addr uint64, size int, write bool) *sim.Completion {
 	if !ok {
 		panic(fmt.Sprintf("crma: node %v: access to unmapped address %#x", c.ep.ID, addr))
 	}
+	if e.Dead {
+		// Revoked window: complete instantly with poison rather than trap,
+		// and count the failure for the caller's accounting.
+		c.Stats.DeadAccesses++
+		done := sim.NewCompletion(c.ep.Eng)
+		done.Complete()
+		return done
+	}
 	if write {
 		c.Stats.Writes++
 	} else {
@@ -163,7 +267,8 @@ func (c *CRMA) accessAsync(addr uint64, size int, write bool) *sim.Completion {
 	}
 	id := c.nextID
 	c.nextID++
-	pend := &crmaPending{done: sim.NewCompletion(c.ep.Eng), start: c.ep.Eng.Now(), write: write}
+	pend := &crmaPending{done: sim.NewCompletion(c.ep.Eng), start: c.ep.Eng.Now(),
+		write: write, addr: addr, size: size}
 	c.pending[id] = pend
 	reqSize := 16 // address + control
 	if write {
@@ -219,8 +324,11 @@ func (c *CRMA) lookupExport(from fabric.NodeID, addr uint64) (*RAMTEntry, bool) 
 func (c *CRMA) handleReq(pkt *fabric.Packet, m *crmaReq) {
 	e, ok := c.lookupExport(pkt.Src, m.addr)
 	if !ok {
-		panic(fmt.Sprintf("crma: node %v: request from %v for unexported address %#x",
-			c.ep.ID, pkt.Src, m.addr))
+		// A rebooted donor forgot its exports: drop the request (the
+		// requester's lease will be re-placed by the Monitor Node and the
+		// access replayed) instead of crashing the simulation.
+		c.Stats.Unexported++
+		return
 	}
 	c.Stats.Served++
 	local := e.translate(m.addr)

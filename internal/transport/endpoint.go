@@ -68,8 +68,9 @@ type Endpoint struct {
 
 // pendingCall tracks an outstanding RPC issued by Call.
 type pendingCall struct {
-	done *sim.Completion
-	resp any
+	done     *sim.Completion
+	resp     any
+	timedOut bool
 }
 
 // rpcReq and rpcResp are the wire envelopes of the generic RPC helper
@@ -120,14 +121,37 @@ func (ep *Endpoint) SendRaw(dst fabric.NodeID, kind string, size int, payload an
 // primitive used by the resource-management runtime; data-plane traffic
 // uses the three channels directly.
 func (ep *Endpoint) Call(p *sim.Proc, dst fabric.NodeID, kind string, reqSize int, body any) any {
+	resp, _ := ep.CallTimeout(p, dst, kind, reqSize, body, 0)
+	return resp
+}
+
+// CallTimeout is Call with a deadline: if no response arrives within
+// timeout (of virtual time), it returns (nil, false) and a late response
+// is silently dropped. A timeout of zero waits forever. This is what
+// lets the resource-management runtime survive peers that crash while
+// servicing a request — a plain Call to a dead node parks its caller
+// permanently.
+func (ep *Endpoint) CallTimeout(p *sim.Proc, dst fabric.NodeID, kind string, reqSize int, body any, timeout sim.Dur) (any, bool) {
 	id := ep.nextID
 	ep.nextID++
 	pc := &pendingCall{done: sim.NewCompletion(ep.Eng)}
 	ep.pending[id] = pc
 	ep.SendRaw(dst, "rpc."+kind, reqSize, &rpcReq{id: id, kind: kind, body: body})
+	if timeout > 0 {
+		ep.Eng.Schedule(timeout, func() {
+			if !pc.done.Done() {
+				pc.timedOut = true
+				pc.done.Complete()
+			}
+		})
+	}
 	p.Await(pc.done)
 	delete(ep.pending, id)
-	return pc.resp
+	if pc.timedOut {
+		ep.Stats.Add("rpc.timeouts", 1)
+		return nil, false
+	}
+	return pc.resp, true
 }
 
 // deliver demultiplexes an arriving packet to its channel or handler.
