@@ -1,7 +1,9 @@
 // Command venice-bench regenerates the paper's tables and figures from
-// the simulator through the trial harness. With no arguments it runs
-// every registered experiment in paper order; otherwise pass experiment
-// ids positionally or via -run (see -list).
+// the simulator through the trial harness, plus the beyond-paper
+// serving sweeps (open-loop load, churn, and the rack-scale
+// serving-scale sweep over multi-rack spine fabrics). With no arguments
+// it runs every registered experiment in paper order; otherwise pass
+// experiment ids positionally or via -run (see -list).
 //
 // Usage:
 //

@@ -1,0 +1,128 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsLinks is the markdown link checker CI's docs job runs: every
+// relative link and image in the repository's *.md files must resolve
+// to an existing file (and, for intra-document anchors, to a real
+// heading). External http(s) links are not fetched — CI must not
+// depend on the network — but nothing else gets a pass.
+func TestDocsLinks(t *testing.T) {
+	mds := findMarkdown(t, ".")
+	if len(mds) < 5 {
+		t.Fatalf("found only %d markdown files — the doc set went missing: %v", len(mds), mds)
+	}
+	linkRe := regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors := headingAnchors(string(data))
+		for _, m := range linkRe.FindAllStringSubmatch(stripCodeFences(string(data)), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			case strings.HasPrefix(target, "#"):
+				if !anchors[strings.TrimPrefix(target, "#")] {
+					t.Errorf("%s: anchor %q does not match any heading", md, target)
+				}
+			default:
+				path, frag, _ := strings.Cut(target, "#")
+				resolved := filepath.Join(filepath.Dir(md), path)
+				info, err := os.Stat(resolved)
+				if err != nil {
+					t.Errorf("%s: link %q -> %s does not exist", md, target, resolved)
+					continue
+				}
+				if frag != "" && !info.IsDir() && strings.HasSuffix(path, ".md") {
+					other, err := os.ReadFile(resolved)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !headingAnchors(string(other))[frag] {
+						t.Errorf("%s: link %q anchor #%s not found in %s", md, target, frag, resolved)
+					}
+				}
+			}
+		}
+	}
+}
+
+// findMarkdown walks the tree for *.md files, skipping VCS internals.
+func findMarkdown(t *testing.T, root string) []string {
+	t.Helper()
+	var mds []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && (d.Name() == ".git" || d.Name() == "testdata") {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+			mds = append(mds, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mds
+}
+
+// headingAnchors derives GitHub-style anchor slugs from markdown
+// headings: lowercase, spaces to dashes, punctuation dropped.
+func headingAnchors(doc string) map[string]bool {
+	anchors := make(map[string]bool)
+	slugRe := regexp.MustCompile(`[^a-z0-9 _-]`)
+	for _, line := range strings.Split(stripCodeFences(doc), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		slug := slugRe.ReplaceAllString(strings.ToLower(text), "")
+		slug = strings.ReplaceAll(slug, " ", "-")
+		if anchors[slug] {
+			// GitHub de-duplicates repeated headings with -1, -2, …
+			for i := 1; ; i++ {
+				dedup := fmt.Sprintf("%s-%d", slug, i)
+				if !anchors[dedup] {
+					slug = dedup
+					break
+				}
+			}
+		}
+		anchors[slug] = true
+	}
+	return anchors
+}
+
+// stripCodeFences blanks ``` blocks so example snippets cannot
+// register false links or headings.
+func stripCodeFences(doc string) string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			out = append(out, "")
+			continue
+		}
+		if fenced {
+			out = append(out, "")
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}

@@ -18,10 +18,14 @@ type MemoryLease struct {
 	Recipient  *node.Node
 	Donor      fabric.NodeID
 	WindowBase uint64
-	Size       uint64
+	// DonorBase is the region's donor-local base address — what the RDMA
+	// channel (which addresses donor memory directly) targets for bulk
+	// transfers against the leased region.
+	DonorBase uint64
+	Size      uint64
 
-	allocID int // -1 for direct (MN-less) attachments
-	cluster *Cluster
+	allocID int           // -1 for direct (MN-less) attachments
+	mn      fabric.NodeID // the MN (or sub-MN) that brokered the lease
 	region  *memsys.Region
 	entry   *transport.RAMTEntry
 }
@@ -41,7 +45,7 @@ func (c *Cluster) BorrowMemory(p *sim.Proc, recipient *node.Node, size uint64) (
 		return nil, err
 	}
 	lease.allocID = resp.AllocID
-	lease.cluster = c
+	lease.mn = c.MN.Node()
 	return lease, nil
 }
 
@@ -76,6 +80,7 @@ func mountCRMA(p *sim.Proc, recipient *node.Node, donor fabric.NodeID, win, dono
 		Recipient:  recipient,
 		Donor:      donor,
 		WindowBase: win,
+		DonorBase:  donorBase,
 		Size:       size,
 		allocID:    -1,
 		region:     region,
@@ -90,8 +95,8 @@ func (l *MemoryLease) Release(p *sim.Proc) {
 	l.Recipient.Mem.AS.Remove(l.region)
 	l.Recipient.Mem.Cache.InvalidateAll()
 	l.Recipient.EP.CRMA.Unmap(l.entry)
-	if l.allocID >= 0 && l.cluster != nil {
-		monitor.FreeMemory(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+	if l.allocID >= 0 {
+		monitor.FreeMemory(p, l.Recipient.EP, l.mn, l.allocID)
 	}
 	p.Sleep(l.Recipient.P.HotplugOp)
 }

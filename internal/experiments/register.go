@@ -20,6 +20,8 @@ func init() {
 	harness.Register("validation", validationSpec())
 	harness.Register("serving", servingSweepSpec())
 	harness.Register("serving-smoke", servingSmokeSpec())
+	harness.Register("serving-scale", servingScaleSpec())
+	harness.Register("scale-smoke", scaleSmokeSpec())
 	harness.Register("serving-churn", churnSweepSpec())
 	harness.Register("churn-smoke", churnSmokeSpec())
 	harness.Register("ablation-mshr", ablationMSHRSpec(ablationMSHRs))

@@ -37,6 +37,11 @@ type Link struct {
 	// node SerDes).
 	fixed sim.Dur
 
+	// gbps overrides Params.LinkGbps for this link when positive — the
+	// per-cable bandwidth knob hierarchical topologies use to model
+	// oversubscribed spine uplinks.
+	gbps float64
+
 	nextFree sim.Time // serializer occupancy (bandwidth model)
 	credits  int      // datalink credits available at the sender
 	waitQ    []*Packet
@@ -88,6 +93,30 @@ func (l *Link) SetErrorRate(r float64) {
 	l.errRate = r
 }
 
+// SetGbps overrides this link's serial bandwidth (0 restores the global
+// Params.LinkGbps). Only serialization time changes; the fixed PHY and
+// propagation latencies are rate-independent.
+func (l *Link) SetGbps(gbps float64) {
+	if gbps < 0 {
+		panic(fmt.Sprintf("fabric: negative link bandwidth %v", gbps))
+	}
+	l.gbps = gbps
+}
+
+// Gbps reports the link's effective serial bandwidth.
+func (l *Link) Gbps() float64 {
+	if l.gbps > 0 {
+		return l.gbps
+	}
+	return l.p.LinkGbps
+}
+
+// serialize reports the wire time for size bytes at the link's
+// effective rate.
+func (l *Link) serialize(size int) sim.Dur {
+	return l.p.SerializeAt(size, l.Gbps())
+}
+
 // SetDown marks the link failed (packets vanish in flight) or restores
 // it. The datalink's bounded replay gives up on packets lost to a down
 // link; the runtime's Topology Status Table reflects the failure via
@@ -122,7 +151,7 @@ func (l *Link) send(pkt *Packet) {
 // arrival. A replay keeps its already-assigned sequence number.
 func (l *Link) transmit(pkt *Packet, isReplay bool) {
 	now := l.eng.Now()
-	ser := l.p.Serialize(pkt.Size)
+	ser := l.serialize(pkt.Size)
 	depart := now
 	if l.nextFree > depart {
 		depart = l.nextFree
@@ -144,7 +173,7 @@ func (l *Link) transmit(pkt *Packet, isReplay bool) {
 	// Sender-side replay timer: anchored past the latest instant a
 	// successful ack could clear the entry (arrival + reverse flight),
 	// plus the configured timeout margin.
-	ackBy := arrive.Add(l.fixed + l.p.Serialize(0))
+	ackBy := arrive.Add(l.fixed + l.serialize(0))
 	l.eng.At(ackBy.Add(l.p.ReplayTO), func() { l.checkReplay(seq) })
 }
 
@@ -159,7 +188,7 @@ func (l *Link) arrive(pkt *Packet, seq uint64) {
 	}
 	// Ack flows back over the paired reverse channel; model it as a fixed
 	// small-packet delay without charging the serializer.
-	ackDelay := l.fixed + l.p.Serialize(0)
+	ackDelay := l.fixed + l.serialize(0)
 	l.eng.Schedule(ackDelay, func() { delete(l.pendingAck, seq) })
 	// The receiver buffer frees once the switch has taken the packet;
 	// return the credit after that plus the reverse flight.

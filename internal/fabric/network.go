@@ -97,6 +97,21 @@ func (n *Network) Send(pkt *Packet) {
 // HopCount reports shortest-path hops between two nodes.
 func (n *Network) HopCount(a, b NodeID) int { return n.Topo.HopCount(a, b) }
 
+// SetLinkGbps overrides the serial bandwidth of both directions of the
+// a<->b link (0 restores the global Params.LinkGbps). Hierarchical
+// topologies use it to model oversubscribed spine uplinks.
+func (n *Network) SetLinkGbps(a, b NodeID, gbps float64) {
+	if n.Link(a, b) == nil && n.Link(b, a) == nil {
+		panic(fmt.Sprintf("fabric: no link %v<->%v to set bandwidth on", a, b))
+	}
+	if l := n.Link(a, b); l != nil {
+		l.SetGbps(gbps)
+	}
+	if l := n.Link(b, a); l != nil {
+		l.SetGbps(gbps)
+	}
+}
+
 // SetLinkDown fails or restores both directions of the a<->b link.
 func (n *Network) SetLinkDown(a, b NodeID, down bool) {
 	if l := n.Link(a, b); l != nil {

@@ -5,6 +5,13 @@
 // direct chip-to-chip communication, an optional external one-level
 // router (the Fig. 6 experiment), and standard topologies including the
 // prototype's 3D mesh.
+//
+// Beyond the paper's single 8-node mesh, RackSpine builds hierarchical
+// rack/spine fabrics (racks of meshes joined by spine switches over a
+// configurable set of uplinks); per-link bandwidth overrides
+// (Link.SetGbps, Network.SetLinkGbps) model oversubscribed spine
+// uplinks, and the Hier type exposes the rack structure the sharded
+// monitor plane (internal/monitor) and the scale experiments build on.
 package fabric
 
 import (

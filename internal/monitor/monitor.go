@@ -39,6 +39,11 @@ type Allocation struct {
 	RecipientBase uint64
 	Size          uint64
 	At            sim.Time
+
+	// Deleg is the root MN's delegation id when this row backs a lease
+	// delegated from another rack (the recipient is outside this sub-MN's
+	// rack); 0 for ordinary local grants.
+	Deleg int
 }
 
 // LinkStatus is one row of the Topology Status Table.
@@ -78,6 +83,28 @@ type Monitor struct {
 	// must comfortably exceed one hot-plug operation plus a round trip.
 	GrantTimeout sim.Dur
 
+	// Sharded-plane wiring (see shard.go). A Monitor with HasUpstream set
+	// is a sub-MN: it owns one rack's leases and heartbeats, escalates
+	// requests its rack cannot serve to the root MN at Upstream, and
+	// reports rack-level state there.
+	Upstream    fabric.NodeID
+	HasUpstream bool
+	Rack        int
+	// delegated maps this sub-MN's recipient-facing alloc ids onto root
+	// delegation ids (plus the owning recipient, so frees enforce the
+	// same ownership check as local rows) for leases backed by another
+	// rack.
+	delegated map[int]delegatedLease
+	// pendingRackFrees parks upstream releases whose delivery to the
+	// root was lost; the sweep retries them so a link flap cannot leak
+	// a delegation forever. pendingCancels does the same for escalation
+	// cancellations (keyed by recipient + window, the cancellation's own
+	// resolution key).
+	pendingRackFrees map[int]*rackFreeReq
+	pendingCancels   map[cancelKey]*borrowCancelReq
+	// rackBeatOn gates the rack-level report loop.
+	rackBeatOn bool
+
 	// recovery loop state.
 	recoveryOn bool
 	// orphans queues hot-returns owed to donors that were declared dead
@@ -110,12 +137,18 @@ func New(ep *transport.Endpoint, topo fabric.Topology) *Monitor {
 		orphans:          make(map[fabric.NodeID][]*hotReturnReq),
 		pendingRelocates: make(map[int]*pendingNotice[relocateReq]),
 		pendingRevokes:   make(map[int]*pendingNotice[revokeReq]),
+		delegated:        make(map[int]delegatedLease),
+		pendingRackFrees: make(map[int]*rackFreeReq),
+		pendingCancels:   make(map[cancelKey]*borrowCancelReq),
 	}
 	ep.HandleCall(kindHeartbeat, m.onHeartbeat)
 	ep.HandleCall(kindAllocMem, m.onAllocMem)
 	ep.HandleCall(kindFreeMem, m.onFreeMem)
 	ep.HandleCall(kindAllocDev, m.onAllocDev)
 	ep.HandleCall(kindFreeDev, m.onFreeDev)
+	ep.HandleCall(kindDelegate, m.onDelegate)
+	ep.HandleCall(kindDelegateFree, m.onDelegateFree)
+	ep.HandleCall(kindDelegateCancel, m.onDelegateCancel)
 	return m
 }
 
@@ -248,14 +281,35 @@ func (m *Monitor) donorCandidates(requester fabric.NodeID) []*Registration {
 	return cands
 }
 
-// onAllocMem finds a donor, asks its agent to hot-remove and export the
-// region, and records the allocation. RRT records can be stale: a donor
-// may decline, in which case the MN retries the next candidate
-// (handshake-and-retry, §5.3).
+// onAllocMem services a memory request: the local donor walk first
+// (unless the scope hint forbids it), then — on a sub-MN — escalation to
+// the root MN when the rack is starved or the request asked for a
+// remote rack outright.
 func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
 	r := req.(*AllocMemReq)
-	for _, cand := range m.donorCandidates(from) {
-		if cand.IdleBytes < r.Size {
+	if r.Scope != ScopeRemoteRack {
+		if a, ok := m.grantFrom(p, from, r.Size, r.WindowBase, 0); ok {
+			m.Stats.Add("alloc.memory", 1)
+			return &AllocMemResp{OK: true, AllocID: a.ID, Donor: a.Donor, DonorBase: a.DonorBase}, 64
+		}
+	}
+	if m.HasUpstream && r.Scope != ScopeLocalRack {
+		if resp := m.escalate(p, from, r); resp != nil {
+			return resp, 64
+		}
+	}
+	m.Stats.Add("alloc.failures", 1)
+	return &AllocMemResp{OK: false, Err: fmt.Sprintf("no donor with %d idle bytes", r.Size)}, 64
+}
+
+// grantFrom runs the donor walk for recipient: find a candidate, ask its
+// agent to hot-remove and export the region, and record the RAT row. RRT
+// records can be stale: a donor may decline, in which case the MN
+// retries the next candidate (handshake-and-retry, §5.3). deleg tags the
+// row with a root delegation id when the grant backs a cross-rack lease.
+func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBase uint64, deleg int) (*Allocation, bool) {
+	for _, cand := range m.donorCandidates(recipient) {
+		if cand.IdleBytes < size {
 			continue
 		}
 		// Cross-check liveness at grant time: the candidate list was
@@ -265,7 +319,7 @@ func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int
 			m.Stats.Add("alloc.dead_skips", 1)
 			continue
 		}
-		hr := &hotRemoveReq{Size: r.Size, Recipient: from, RecipientBase: r.WindowBase}
+		hr := &hotRemoveReq{Size: size, Recipient: recipient, RecipientBase: windowBase}
 		inc := m.incarnationOf(cand.Node)
 		raw, ok := m.EP.CallTimeout(p, cand.Node, kindHotRemove, 64, hr, m.GrantTimeout)
 		if !ok {
@@ -275,7 +329,7 @@ func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int
 			// was lost, so park a cancellation (key-resolved hot-return)
 			// for when the donor is reachable again.
 			m.Stats.Add("alloc.grant_timeouts", 1)
-			m.queueOrphan(cand.Node, inc, &hotReturnReq{Recipient: from, RecipientBase: r.WindowBase})
+			m.queueOrphan(cand.Node, inc, &hotReturnReq{Recipient: recipient, RecipientBase: windowBase})
 			cand.IdleBytes = 0
 			continue
 		}
@@ -288,27 +342,52 @@ func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int
 		}
 		id := m.nextAllocID
 		m.nextAllocID++
-		m.rat[id] = &Allocation{
-			ID: id, Kind: "memory", Donor: cand.Node, Recipient: from,
-			DonorBase: resp.Base, RecipientBase: r.WindowBase,
-			Size: r.Size, At: m.EP.Eng.Now(),
+		a := &Allocation{
+			ID: id, Kind: "memory", Donor: cand.Node, Recipient: recipient,
+			DonorBase: resp.Base, RecipientBase: windowBase,
+			Size: size, At: m.EP.Eng.Now(), Deleg: deleg,
 		}
-		cand.IdleBytes -= r.Size
-		m.Stats.Add("alloc.memory", 1)
-		return &AllocMemResp{OK: true, AllocID: id, Donor: cand.Node, DonorBase: resp.Base}, 64
+		m.rat[id] = a
+		cand.IdleBytes -= size
+		return a, true
 	}
-	m.Stats.Add("alloc.failures", 1)
-	return &AllocMemResp{OK: false, Err: fmt.Sprintf("no donor with %d idle bytes", r.Size)}, 64
+	return nil, false
 }
 
-// onFreeMem tears an allocation down, returning the region to its donor.
+// onFreeMem tears an allocation down, returning the region to its donor
+// — or, for a lease delegated from another rack, forwarding the release
+// up to the root MN, which owns the donor-rack indirection.
 func (m *Monitor) onFreeMem(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
 	f := req.(*FreeMemReq)
+	if ref, ok := m.delegated[f.AllocID]; ok {
+		if ref.recipient != from {
+			return &ack{}, 8
+		}
+		delete(m.delegated, f.AllocID)
+		fr := &rackFreeReq{DelegID: ref.deleg}
+		if _, ok := m.EP.CallTimeout(p, m.Upstream, kindRackFree, 32, fr, 3*m.GrantTimeout); !ok {
+			// Lost to the spine: park for sweep retry — a dropped free
+			// must not leak the delegation and its donor-rack backing.
+			m.pendingRackFrees[ref.deleg] = fr
+			m.Stats.Add("free.upstream_lost", 1)
+		}
+		m.Stats.Add("free.delegated", 1)
+		return &ack{}, 8
+	}
 	a, ok := m.rat[f.AllocID]
 	if !ok || a.Recipient != from {
 		return &ack{}, 8
 	}
 	delete(m.rat, f.AllocID)
+	m.returnRegion(p, a)
+	m.Stats.Add("free.memory", 1)
+	return &ack{}, 8
+}
+
+// returnRegion hands an allocation's region back to its donor (parking
+// an orphan return when the donor is unreachable) and restores the RRT
+// idle-byte account.
+func (m *Monitor) returnRegion(p *sim.Proc, a *Allocation) {
 	ret := &hotReturnReq{
 		Recipient: a.Recipient, RecipientBase: a.RecipientBase,
 		Base: a.DonorBase, Size: a.Size,
@@ -323,8 +402,6 @@ func (m *Monitor) onFreeMem(p *sim.Proc, from fabric.NodeID, req any) (any, int)
 	if r, ok := m.rrt[a.Donor]; ok {
 		r.IdleBytes += a.Size
 	}
-	m.Stats.Add("free.memory", 1)
-	return &ack{}, 8
 }
 
 // onAllocDev grants a device unit on the nearest donor advertising one.

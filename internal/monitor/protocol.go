@@ -4,6 +4,17 @@
 // Allocation Table (RAT) of live allocations, and the Topology Status
 // Table (TST) of fabric link health — plus the per-node agent daemon
 // that heartbeats availability and services hot-remove requests.
+//
+// The runtime extends the paper's prototype in two directions. First,
+// recovery (recovery.go): heartbeat-incarnation failure detection, MN
+// sweep loops, lease failover with recipient-side in-flight replay, and
+// orphan hot-returns after false positives. Second, scale (shard.go): on
+// multi-rack fabrics the plane shards into one sub-MN per rack plus a
+// root MN that sees only rack-granularity state — sub-MNs escalate
+// requests their rack cannot serve, the root elects donor racks and
+// delegates grants, and recovery composes across the delegation
+// boundary (including re-delegating a whole rack's donated leases when
+// its sub-MN dies).
 package monitor
 
 import (
@@ -24,6 +35,18 @@ const (
 	kindHotReturn = "agent.hotreturn"
 	kindRelocate  = "agent.relocate"
 	kindRevoke    = "agent.revoke"
+
+	// Sharded-plane RPCs (see shard.go): sub-MN <-> root MN, and the
+	// root's delegation calls into donor-rack sub-MNs.
+	kindRackBeat       = "root.rackbeat"
+	kindRackBorrow     = "root.borrow"
+	kindRackFree       = "root.free"
+	kindBorrowCancel   = "root.borrowcancel"
+	kindNodeDown       = "root.nodedown"
+	kindDelegateMoved  = "root.delegatemoved"
+	kindDelegate       = "sub.delegate"
+	kindDelegateFree   = "sub.delegatefree"
+	kindDelegateCancel = "sub.delegatecancel"
 )
 
 // DeviceKind distinguishes shareable device classes in the RRT.
@@ -67,12 +90,34 @@ type Heartbeat struct {
 	Incarnation int64
 }
 
+// AllocScope is a placement hint on memory requests — the NUMA-style
+// policy knob the hierarchical plane adds. The zero value preserves the
+// flat-cluster behavior exactly.
+type AllocScope int
+
+const (
+	// ScopeAny places wherever the plane finds memory: the sub-MN's own
+	// rack first, escalating to the root MN only when the rack is
+	// starved.
+	ScopeAny AllocScope = iota
+	// ScopeLocalRack never escalates: the request fails if the rack
+	// cannot serve it.
+	ScopeLocalRack
+	// ScopeRemoteRack skips the local walk and asks the root MN for a
+	// donor in another rack (the cross-rack traffic knob the scale
+	// scenarios sweep).
+	ScopeRemoteRack
+)
+
 // AllocMemReq asks the MN for remote memory. The requester pre-selects
 // the local address window the borrowed region will be hot-plugged at,
 // so the donor can install the matching translation.
 type AllocMemReq struct {
 	Size       uint64
 	WindowBase uint64
+	// Scope is the hierarchical placement hint; flat clusters ignore it
+	// except ScopeRemoteRack, which fails (there is no other rack).
+	Scope AllocScope
 }
 
 // AllocMemResp answers an AllocMemReq.
@@ -111,7 +156,14 @@ type FreeDevReq struct {
 // makes when it needs more memory than is locally available (step 2 of
 // Fig. 2).
 func RequestMemory(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64) *AllocMemResp {
-	return ep.Call(p, mn, kindAllocMem, 64, &AllocMemReq{Size: size, WindowBase: windowBase}).(*AllocMemResp)
+	return RequestMemoryScoped(p, ep, mn, size, windowBase, ScopeAny)
+}
+
+// RequestMemoryScoped is RequestMemory with an explicit placement scope
+// (rack-local, remote-rack, or anywhere) for hierarchical planes.
+func RequestMemoryScoped(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, scope AllocScope) *AllocMemResp {
+	return ep.Call(p, mn, kindAllocMem, 64,
+		&AllocMemReq{Size: size, WindowBase: windowBase, Scope: scope}).(*AllocMemResp)
 }
 
 // FreeMemory releases a memory allocation by id.
@@ -186,3 +238,99 @@ type revokeReq struct {
 
 // ack is an empty RPC response.
 type ack struct{}
+
+// rackBeat is a sub-MN's periodic rack-level report to the root MN: the
+// hierarchical analogue of the agent heartbeat, aggregated one level up
+// so the root scales with racks, not nodes.
+type rackBeat struct {
+	Rack      int
+	Sub       fabric.NodeID
+	IdleBytes uint64 // sum of the rack's live RRT idle bytes
+	Live      int    // live nodes in the rack
+}
+
+// rackBorrowReq is a sub-MN's escalation to the root MN: its rack
+// cannot (or, under ScopeRemoteRack, must not) back a request, so the
+// root elects a donor rack and delegates the grant.
+type rackBorrowReq struct {
+	Rack       int // requester's rack, excluded from donor election
+	Recipient  fabric.NodeID
+	Size       uint64
+	WindowBase uint64
+}
+
+// rackBorrowResp answers a rackBorrowReq.
+type rackBorrowResp struct {
+	OK        bool
+	Err       string
+	DelegID   int
+	Donor     fabric.NodeID
+	DonorBase uint64
+}
+
+// rackFreeReq releases a delegated lease by root delegation id.
+type rackFreeReq struct {
+	DelegID int
+}
+
+// borrowCancelReq is a sub-MN's cancellation of an escalation whose
+// response it never saw: if the borrow did complete at the root, the
+// orphaned delegation (identified by recipient + window, since the sub
+// holds no delegation id) must be torn down — the cross-rack analogue
+// of the flat plane's key-resolved hot-return cancellation.
+type borrowCancelReq struct {
+	Recipient     fabric.NodeID
+	RecipientBase uint64
+}
+
+// nodeDownReq is a sub-MN's notice to the root that its sweep declared
+// a rack node dead. The root reclaims delegated leases that node held
+// as a recipient — the cross-rack half of the recovery contract (the
+// donor-side half stays with the donor rack's own sweep, which owns the
+// RAT row).
+type nodeDownReq struct {
+	Rack int
+	Node fabric.NodeID
+}
+
+// delegateMovedReq is a donor-rack sub-MN's notice that its recovery
+// sweep changed (or revoked) a delegated lease's backing, keeping the
+// root's delegation table truthful across the delegation boundary.
+type delegateMovedReq struct {
+	DelegID int
+	Donor   fabric.NodeID
+	Gone    bool // the sub revoked the lease outright
+}
+
+// delegateReq is the root MN's grant request to a donor rack's sub-MN:
+// perform the normal donor walk for a recipient outside the rack.
+type delegateReq struct {
+	DelegID    int
+	Recipient  fabric.NodeID
+	Size       uint64
+	WindowBase uint64
+}
+
+// delegateResp answers a delegateReq.
+type delegateResp struct {
+	OK        bool
+	Err       string
+	AllocID   int // RAT row id at the donor-rack sub-MN
+	Donor     fabric.NodeID
+	DonorBase uint64
+}
+
+// delegateFreeReq asks a donor rack's sub-MN to tear down a delegated
+// lease it is backing, by its local RAT row id.
+type delegateFreeReq struct {
+	AllocID int
+}
+
+// delegateCancelReq is the root MN's cancellation of a delegate call
+// whose response it never saw: the sub resolves the row (if its grant
+// did complete) by the delegation id the request carried — the
+// root-to-sub analogue of the flat plane's key-resolved hot-return
+// cancellation.
+type delegateCancelReq struct {
+	DelegID int
+}

@@ -74,10 +74,12 @@ func (m *Monitor) sweep(p *sim.Proc) {
 			r.needsRecovery = false
 			m.Stats.Add("recover.reboot_recoveries", 1)
 			m.recoverNode(p, id, true)
+			m.notifyNodeDown(p, id)
 		case !r.Dead && r.Beats > 0 && !m.NodeAlive(id):
 			r.Dead = true
 			m.Stats.Add("recover.deaths", 1)
 			m.recoverNode(p, id, false)
+			m.notifyNodeDown(p, id)
 		case !r.Dead && m.NodeAlive(id) && len(m.orphans[id]) > 0:
 			// Hot-returns can be owed to a node that was never declared
 			// dead (e.g. a free whose return was lost to a link flap);
@@ -86,6 +88,9 @@ func (m *Monitor) sweep(p *sim.Proc) {
 		}
 	}
 	m.retryPendingNotices(p)
+	if m.HasUpstream {
+		m.retryRackFrees(p)
+	}
 }
 
 // retryPendingNotices redelivers relocate/revoke notices whose first
@@ -105,7 +110,7 @@ func (m *Monitor) retryPendingNotices(p *sim.Proc) {
 			delete(m.pendingRelocates, id)
 			continue
 		}
-		if !m.NodeAlive(n.recipient) {
+		if !m.recipientReachable(n.recipient) {
 			continue // unreachable; keep for a later sweep
 		}
 		raw, ok := m.EP.CallTimeout(p, n.recipient, kindRelocate, 64, n.req, m.GrantTimeout)
@@ -133,7 +138,7 @@ func (m *Monitor) retryPendingNotices(p *sim.Proc) {
 			delete(m.pendingRevokes, id)
 			continue
 		}
-		if !m.NodeAlive(n.recipient) {
+		if !m.recipientReachable(n.recipient) {
 			continue
 		}
 		if _, ok := m.EP.CallTimeout(p, n.recipient, kindRevoke, 32, n.req, m.GrantTimeout); !ok {
@@ -142,6 +147,32 @@ func (m *Monitor) retryPendingNotices(p *sim.Proc) {
 		}
 		delete(m.pendingRevokes, id)
 		m.Stats.Add("recover.revoke_retried", 1)
+	}
+}
+
+// recipientReachable reports whether a recovery notice to recipient is
+// worth attempting. Rack-local recipients are gated on their heartbeat
+// freshness; recipients outside this sub-MN's rack (delegated leases)
+// never appear in the RRT, so delivery is simply attempted — their own
+// rack's sub-MN owns their liveness, and an undeliverable notice just
+// stays parked for the next sweep.
+func (m *Monitor) recipientReachable(recipient fabric.NodeID) bool {
+	if _, local := m.rrt[recipient]; !local {
+		return true
+	}
+	return m.NodeAlive(recipient)
+}
+
+// notifyNodeDown reports a locally-detected node death (or reboot) to
+// the root MN so delegated leases the node held as a recipient are
+// reclaimed across the delegation boundary. No-op on flat clusters.
+func (m *Monitor) notifyNodeDown(p *sim.Proc, id fabric.NodeID) {
+	if !m.HasUpstream {
+		return
+	}
+	if _, ok := m.EP.CallTimeout(p, m.Upstream, kindNodeDown, 32,
+		&nodeDownReq{Rack: m.Rack, Node: id}, m.GrantTimeout); !ok {
+		m.Stats.Add("recover.nodedown_lost", 1)
 	}
 }
 
@@ -315,6 +346,7 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 		}
 		m.Stats.Add("recover.replaced", 1)
 		m.Stats.Add("recover.ns", int64(m.EP.Eng.Now().Sub(t0)))
+		m.notifyDelegateMoved(p, a.Deleg, a.Donor, false)
 		return
 	}
 	// The candidate walk blocked; if the lease was freed meanwhile there
@@ -344,6 +376,21 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 		m.Stats.Add("recover.revoke_lost", 1)
 	}
 	m.Stats.Add("recover.revoked", 1)
+	m.notifyDelegateMoved(p, a.Deleg, a.Donor, true)
+}
+
+// notifyDelegateMoved tells the root MN that a delegated lease's backing
+// changed (new donor after a rack-local failover) or is gone (revoked),
+// keeping the root's delegation table truthful. No-op for non-delegated
+// rows and on flat clusters.
+func (m *Monitor) notifyDelegateMoved(p *sim.Proc, deleg int, donor fabric.NodeID, gone bool) {
+	if deleg == 0 || !m.HasUpstream {
+		return
+	}
+	if _, ok := m.EP.CallTimeout(p, m.Upstream, kindDelegateMoved, 32,
+		&delegateMovedReq{DelegID: deleg, Donor: donor, Gone: gone}, m.GrantTimeout); !ok {
+		m.Stats.Add("recover.delegatemoved_lost", 1)
+	}
 }
 
 // undoReplacement returns a replacement region that lost its race with a

@@ -1,12 +1,19 @@
-// Package serving is the cluster-scale serving scenario: an open-loop
-// load generator (seeded Poisson or MMPP arrivals) drives the key-value
-// and cache-tier workloads across a multi-node Venice mesh while
-// co-located tenants lease remote memory through the Monitor Node's
-// sharing policies, and every request's end-to-end latency lands in a
-// mergeable streaming histogram. Open-loop means arrivals never wait
-// for completions — exactly the regime where oversubscribed resource
-// sharing shows up in the tail, which closed-loop batch experiments
-// (figs. 3–18) cannot observe.
+// Package serving is the cluster-scale serving scenario family: an
+// open-loop load generator (seeded Poisson or MMPP arrivals) drives the
+// key-value and cache-tier workloads across a multi-node Venice mesh
+// while co-located tenants lease remote memory through the Monitor
+// Node's sharing policies, and every request's end-to-end latency lands
+// in a mergeable streaming histogram. Open-loop means arrivals never
+// wait for completions — exactly the regime where oversubscribed
+// resource sharing shows up in the tail, which closed-loop batch
+// experiments (figs. 3–18) cannot observe.
+//
+// The scenarios share the methodology: KV and Tier (serving.go) on
+// single-rack meshes, churn (churn.go) adding
+// fault-schedule-driven donor crashes, and Scale (scale.go) on
+// multi-rack rack/spine fabrics where leases are brokered by the
+// sharded monitor plane and a configurable fraction of the working set
+// crosses the oversubscribed spine.
 package serving
 
 import (

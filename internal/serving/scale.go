@@ -1,0 +1,234 @@
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// The scale scenario takes the open-loop serving methodology to the
+// multi-rack fabrics of fabric.RackSpine: an app server in rack 0
+// serves requests whose working set lives in remote-memory windows
+// leased through the sharded monitor plane, with CrossFrac of the
+// windows deliberately delegated to other racks. Every cross-rack
+// access shares the rack's few oversubscribed spine uplinks, so the
+// sweep (node count × rack size × cross-rack fraction) measures what
+// hierarchical sharing costs at the tail — the number the single-rack
+// prototype cannot produce.
+
+// Scale-scenario calibration constants; like the other scenarios they
+// are fixed so the sweep varies only scale, mix, and load.
+const (
+	scaleClusterSeed = 2121
+	scaleCalSeed     = 2122
+	scaleTenantSeed  = 2123
+
+	scaleWindows     = 8
+	scaleWindowBytes = 2 << 20
+	scaleReadBytes   = 2048
+	scaleCalibration = 48
+	scaleThink       = 2 * sim.Microsecond
+
+	// Spine tier: 2 switches, 2 uplinks per rack, each uplink at half
+	// the node link rate — a rack's nodes contend for 2×2.5 Gbps of
+	// cross-rack bandwidth against 5 Gbps per intra-rack port.
+	scaleSpines    = 2
+	scaleUplinks   = 2
+	scaleSpineGbps = 2.5
+
+	// Background tenants: every rack runs RackNodes/scaleTenantDiv
+	// tenants on its own nodes, each leasing one window (a CrossFrac
+	// share of them cross-rack) and streaming RDMA bulk reads against it
+	// for the scenario's duration. One 32 KiB transfer plus the think
+	// gap sustains ~0.4 Gbps of demand per cross-rack tenant against the
+	// rack's 2×2.5 Gbps of uplink capacity; tenant count scales with
+	// rack size, so the rack-size axis sweeps spine utilization from
+	// ~20% (8-node racks) toward saturation (32-node racks at high
+	// CrossFrac) without tipping into open-ended collapse.
+	scaleTenantDiv     = 4
+	scaleTenantBulk    = 32 << 10
+	scaleTenantThinkNS = 1_000_000
+)
+
+// scaleRackDims maps a supported per-rack node count onto mesh
+// dimensions.
+func scaleRackDims(rackNodes int) (x, y, z int, err error) {
+	switch rackNodes {
+	case 8:
+		return 2, 2, 2, nil
+	case 16:
+		return 4, 2, 2, nil
+	case 32:
+		return 4, 4, 2, nil
+	}
+	return 0, 0, 0, fmt.Errorf("serving: unsupported rack size %d (want 8, 16, or 32)", rackNodes)
+}
+
+// runScale executes the rack-scale serving scenario.
+func runScale(cfg Config) (*Result, error) {
+	if cfg.Racks < 2 {
+		return nil, fmt.Errorf("serving: scale workload needs >= 2 racks, got %d", cfg.Racks)
+	}
+	if cfg.CrossFrac < 0 || cfg.CrossFrac > 1 {
+		return nil, fmt.Errorf("serving: CrossFrac %v out of [0, 1]", cfg.CrossFrac)
+	}
+	x, y, z, err := scaleRackDims(cfg.RackNodes)
+	if err != nil {
+		return nil, err
+	}
+	cross := int(cfg.CrossFrac*scaleWindows + 0.5)
+
+	cl := core.NewHierCluster(core.HierConfig{
+		Racks: cfg.Racks, RackX: x, RackY: y, RackZ: z,
+		Spines: scaleSpines, Uplinks: scaleUplinks, SpineGbps: scaleSpineGbps,
+		Seed: scaleClusterSeed,
+		// Long periods keep the steady-state event count tractable; the
+		// warm-up run covers the staggered first beats that populate the
+		// RRTs and the root's rack registry.
+		HeartbeatInterval: 30 * sim.Second,
+		RackBeatInterval:  30 * sim.Second,
+	})
+	defer cl.Close()
+	cl.RunFor(1 * sim.Second)
+
+	app := cl.Node(2) // rack 0, clear of the sub-MN/uplink nodes 0 and 1
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	res := &Result{}
+	var runErr error
+	stop := false
+	done := app.Run("serving-scale", func(pr *sim.Proc) {
+		// Lease the working set: the cross-rack share is delegated by the
+		// root MN (most-idle rack election spreads consecutive windows
+		// over distinct racks), the rest is pinned rack-local.
+		windows := make([]*core.MemoryLease, scaleWindows)
+		for w := range windows {
+			scope := monitor.ScopeLocalRack
+			if w < cross {
+				scope = monitor.ScopeRemoteRack
+			}
+			lease, err := cl.BorrowMemoryScoped(pr, app, scaleWindowBytes, scope)
+			if err != nil {
+				runErr = fmt.Errorf("serving: window %d (scope %d): %w", w, scope, err)
+				return
+			}
+			windows[w] = lease
+		}
+
+		// Background tenants on every rack (nodes past the app's index,
+		// clear of the sub-MN/uplink nodes): each leases one window — a
+		// CrossFrac share of them in another rack — and will stream
+		// reads through it from calibration to the end of the measured
+		// phase, loading the spine in proportion to rack fullness.
+		tenantsPerRack := cfg.RackNodes / scaleTenantDiv
+		crossTenants := int(cfg.CrossFrac*float64(tenantsPerRack) + 0.5)
+		tenantRng := sim.NewRNG(scaleTenantSeed)
+		type tenant struct {
+			n     int
+			lease *core.MemoryLease
+		}
+		var tenants []tenant
+		for r := 0; r < cfg.Racks; r++ {
+			for i := 0; i < tenantsPerRack; i++ {
+				tn := cl.Node(int(cl.Hier.RackNodes(r)[3+i]))
+				scope := monitor.ScopeLocalRack
+				if i < crossTenants {
+					scope = monitor.ScopeRemoteRack
+				}
+				lease, err := cl.BorrowMemoryScoped(pr, tn, scaleWindowBytes, scope)
+				if err != nil {
+					runErr = fmt.Errorf("serving: rack %d tenant %d (scope %d): %w", r, i, scope, err)
+					return
+				}
+				tenants = append(tenants, tenant{n: int(tn.ID), lease: lease})
+			}
+		}
+		for _, tt := range tenants {
+			tt, trng := tt, tenantRng.Fork()
+			tn := cl.Node(tt.n)
+			tn.Run("tenant", func(tp *sim.Proc) {
+				for !stop {
+					off := trng.Uint64n(tt.lease.Size-scaleTenantBulk) &^ 63
+					tn.EP.RDMA.Read(tp, tt.lease.Donor, tt.lease.DonorBase+off, scaleTenantBulk)
+					tp.Sleep(sim.Dur(trng.Intn(scaleTenantThinkNS)))
+				}
+			})
+		}
+
+		// Closed-loop calibration over the same window mix the measured
+		// phase will draw from, under the same background pressure.
+		calRng := sim.NewRNG(scaleCalSeed)
+		t0 := pr.Now()
+		for j := 0; j < scaleCalibration; j++ {
+			lease := windows[j%scaleWindows]
+			off := calRng.Uint64n(lease.Size-scaleReadBytes) &^ 63
+			app.Mem.Read(pr, lease.WindowBase+off, scaleReadBytes)
+			app.Mem.Think(pr, scaleThink)
+		}
+		res.ServiceNS = float64(pr.Now().Sub(t0)) / scaleCalibration
+		res.OfferedRPS = cfg.Util * float64(workers) / res.ServiceNS * 1e9
+
+		reqQ := sim.NewQueue[request](cl.Eng)
+		shards := make([]*sim.LatencyHist, workers)
+		var lastDone sim.Time
+		grp := sim.NewGroup(cl.Eng)
+		offRng := sim.NewRNG(cfg.Seed ^ 0xacce55)
+		for w := 0; w < workers; w++ {
+			w := w
+			shards[w] = &sim.LatencyHist{}
+			grp.Add(1)
+			app.Run(fmt.Sprintf("worker-%d", w), func(wp *sim.Proc) {
+				defer grp.Done()
+				for {
+					req := reqQ.Pop(wp)
+					if req.close {
+						return
+					}
+					lease := windows[req.key]
+					off := offRng.Uint64n(lease.Size-scaleReadBytes) &^ 63
+					app.Mem.Read(wp, lease.WindowBase+off, scaleReadBytes)
+					app.Mem.Think(wp, scaleThink)
+					shards[w].AddDur(wp.Now().Sub(req.arrived))
+					if wp.Now() > lastDone {
+						lastDone = wp.Now()
+					}
+				}
+			})
+		}
+
+		arr := newSampler(cfg.Arrivals, res.OfferedRPS, sim.NewRNG(cfg.Seed))
+		winRng := sim.NewRNG(cfg.Seed ^ 0x5eed)
+		start := pr.Now()
+		for r := 0; r < cfg.Requests; r++ {
+			pr.Sleep(arr.Next())
+			reqQ.Push(pr, request{arrived: pr.Now(), key: winRng.Intn(scaleWindows)})
+		}
+		for w := 0; w < workers; w++ {
+			reqQ.Push(pr, request{close: true})
+		}
+		grp.Wait(pr)
+		stop = true
+
+		res.AchievedRPS = float64(cfg.Requests) / lastDone.Sub(start).Seconds()
+		res.MaxQueue = reqQ.MaxDepth()
+		res.Lat = &sim.LatencyHist{}
+		for _, s := range shards {
+			res.Lat.Merge(s)
+		}
+	})
+	// Agent and rackbeat loops keep the event queue alive forever; step
+	// only until the scenario completes.
+	for !done.Done() && cl.Eng.Step() {
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if !done.Done() {
+		return nil, fmt.Errorf("serving: scale scenario deadlocked (%d live procs)", cl.Eng.LiveProcs())
+	}
+	return res, nil
+}

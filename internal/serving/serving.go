@@ -24,6 +24,11 @@ const (
 	// is partly leased remote memory brokered by the Monitor Node (the
 	// workloads/tierdb.go path).
 	Tier Workload = "tier"
+	// Scale is the rack-scale read-serving tier: an app server on a
+	// multi-rack spine fabric reads from remote-memory windows leased
+	// through the sharded monitor plane, a configurable fraction of them
+	// delegated cross-rack over the oversubscribed spine (scale.go).
+	Scale Workload = "scale"
 )
 
 // Config shapes one serving scenario run.
@@ -52,6 +57,15 @@ type Config struct {
 	// lease — the serving tier's and the tenants' (Tier only;
 	// "" = the prototype's distance-first).
 	Policy string
+	// Racks and RackNodes shape the hierarchical fabric (Scale only):
+	// Racks racks of RackNodes-node meshes (8, 16, or 32 per rack)
+	// behind an oversubscribed spine.
+	Racks     int
+	RackNodes int
+	// CrossFrac is the fraction of the Scale working set's leased
+	// windows delegated to other racks — the cross-rack traffic knob
+	// the sweep measures the spine penalty with (Scale only).
+	CrossFrac float64
 	// Seed drives the arrival and key streams. Everything else in the
 	// scenario uses fixed internal seeds, so two runs with the same
 	// Seed are identical and runs with different Seeds are independent
@@ -132,6 +146,8 @@ func Run(cfg Config) (*Result, error) {
 		return runKV(cfg)
 	case Tier:
 		return runTier(cfg)
+	case Scale:
+		return runScale(cfg)
 	}
 	return nil, fmt.Errorf("serving: unknown workload %q", cfg.Workload)
 }

@@ -181,8 +181,15 @@ func (p *Params) Compute(n int64) Dur {
 // Serialize reports the wire time for size bytes (plus per-packet header)
 // at the link rate.
 func (p *Params) Serialize(size int) Dur {
+	return p.SerializeAt(size, p.LinkGbps)
+}
+
+// SerializeAt reports the wire time for size bytes (plus per-packet
+// header) at an explicit rate — the single home of the serialization
+// formula, shared by normal links and per-link bandwidth overrides.
+func (p *Params) SerializeAt(size int, gbps float64) Dur {
 	bits := float64(size+p.HeaderBytes) * 8
-	ns := bits / p.LinkGbps // Gbit/s ≡ bit/ns
+	ns := bits / gbps // Gbit/s ≡ bit/ns
 	return Dur(ns + 0.5)
 }
 
