@@ -58,6 +58,40 @@ func TestDocsLinks(t *testing.T) {
 	}
 }
 
+// TestAPIFreeze is the deprecated-surface gate CI's docs job runs:
+// examples and scenario packages must compose against the unified
+// core.Plane API (Acquire / AcquireAll), never the deprecated
+// Borrow*/Attach* entry points. Those wrappers live on only in
+// internal/core/deprecated.go (and internal/core's own equivalence
+// tests); a new call site anywhere else is a migration regression.
+func TestAPIFreeze(t *testing.T) {
+	deprecated := regexp.MustCompile(
+		`\.(BorrowMemory|BorrowMemoryScoped|BorrowSwap|AttachAccelerator|AttachNIC|AttachMemoryDirect|AttachSwapDirect)\(`)
+	for _, dir := range []string{"examples", "internal/serving", "internal/experiments"} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				if m := deprecated.FindString(line); m != "" {
+					t.Errorf("%s:%d: calls deprecated entry point %q — use core.Plane's Acquire instead", path, i+1, strings.TrimSuffix(strings.TrimPrefix(m, "."), "("))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // findMarkdown walks the tree for *.md files, skipping VCS internals.
 func findMarkdown(t *testing.T, root string) []string {
 	t.Helper()

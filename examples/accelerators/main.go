@@ -32,23 +32,22 @@ func main() {
 
 	app := cluster.Node(0)
 	client := accel.NewClient(app)
+	attach := func(p *sim.Proc, opts ...core.Option) *core.AccelLease {
+		l, err := cluster.Acquire(p, core.NewRequest(core.Accel, app, 0,
+			append([]core.Option{core.WithClient(client)}, opts...)...))
+		if err != nil {
+			panic(err)
+		}
+		return l.(*core.AccelLease)
+	}
 	app.Run("app", func(p *sim.Proc) {
 		// Fig. 11: the application receives two FFT and one crypto
 		// accelerator; the library handles dispatch.
-		fftA, err := cluster.AttachAccelerator(p, app, client, 0, true)
-		if err != nil {
-			panic(err)
-		}
-		fftB, err := cluster.AttachAccelerator(p, app, client, 1, true)
-		if err != nil {
-			panic(err)
-		}
-		cr, err := cluster.AttachAccelerator(p, app, client, 0, false)
-		if err != nil {
-			panic(err)
-		}
+		fftA := attach(p, core.WithExclusive())
+		fftB := attach(p, core.WithDevice(1), core.WithExclusive())
+		cr := attach(p)
 		fmt.Printf("attached: fft@%v fft@%v crypto@%v\n",
-			fftA.Donor.ID, fftB.Donor.ID, cr.Donor.ID)
+			fftA.Donor(), fftB.Donor(), cr.Donor())
 
 		const data = 8 << 20
 		// One device.
@@ -70,7 +69,7 @@ func main() {
 		// Then encrypt the result remotely.
 		t2 := p.Now()
 		cr.Handle.Run(p, "crypto", data)
-		fmt.Printf("8 MiB crypto on %v: %v\n", cr.Donor.ID, p.Now().Sub(t2))
+		fmt.Printf("8 MiB crypto on %v: %v\n", cr.Donor(), p.Now().Sub(t2))
 
 		// The math itself is real: run the CPU-side FFT for comparison.
 		buf := make([]complex128, 1<<14)

@@ -51,24 +51,25 @@ func scene1() {
 	inj := chaos.New(cl.Eng, cl.Net, cl.Agents)
 	tenant := cl.Node(4)
 	done := tenant.Run("tenant", func(p *sim.Proc) {
-		lease, err := cl.BorrowMemory(p, tenant, 8<<20)
+		lease, err := cl.Acquire(p, core.NewRequest(core.Memory, tenant, 8<<20))
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("  lease: %d MiB on donor %v, window %#x\n", lease.Size>>20, lease.Donor, lease.WindowBase)
+		ml := lease.(*core.MemoryLease)
+		fmt.Printf("  lease: %d MiB on donor %v, window %#x\n", ml.Size>>20, ml.Donor(), ml.WindowBase)
 
 		crashAt := p.Now().Add(1 * sim.Millisecond)
 		cl.Eng.At(crashAt, func() {
-			fmt.Printf("  t+%v: donor %v crashes\n", sim.Dur(0)+1*sim.Millisecond, lease.Donor)
-			inj.KillNode(lease.Donor)
+			fmt.Printf("  t+%v: donor %v crashes\n", sim.Dur(0)+1*sim.Millisecond, ml.Donor())
+			inj.KillNode(ml.Donor())
 		})
 
 		rng := sim.NewRNG(1)
 		var worst sim.Dur
 		for i := 0; i < 200; i++ {
-			off := rng.Uint64n(lease.Size-2048) &^ 63
+			off := rng.Uint64n(ml.Size-2048) &^ 63
 			t0 := p.Now()
-			tenant.EP.CRMA.Fill(p, lease.WindowBase+off, 2048)
+			tenant.EP.CRMA.Fill(p, ml.WindowBase+off, 2048)
 			if d := p.Now().Sub(t0); d > worst {
 				worst = d
 			}
@@ -92,11 +93,11 @@ func scene2() {
 	inj := chaos.New(cl.Eng, cl.Net, cl.Agents)
 	tenant := cl.Node(4)
 	done := tenant.Run("tenant", func(p *sim.Proc) {
-		lease, err := cl.BorrowMemory(p, tenant, 8<<20)
+		lease, err := cl.Acquire(p, core.NewRequest(core.Memory, tenant, 8<<20))
 		if err != nil {
 			panic(err)
 		}
-		donor := lease.Donor
+		donor := lease.Donor()
 		fmt.Printf("  lease on donor %v; crash+reboot outage of 300µs (timeout is 500µs)\n", donor)
 		cl.Eng.Schedule(1*sim.Millisecond, func() { inj.KillNode(donor) })
 		cl.Eng.Schedule(1*sim.Millisecond+300*sim.Microsecond, func() { inj.RestartNode(donor) })

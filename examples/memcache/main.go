@@ -42,12 +42,12 @@ func main() {
 
 		// Grow the cache twice with borrowed memory.
 		for i := 0; i < 2; i++ {
-			lease, err := cluster.BorrowMemory(p, redisNode, 4<<20)
+			lease, err := cluster.Acquire(p, core.NewRequest(core.Memory, redisNode, 4<<20))
 			if err != nil {
 				panic(err)
 			}
-			cache.AddArena(workloads.NewArena(lease.WindowBase, lease.Size))
-			measure(fmt.Sprintf("+4 MiB from %v:", lease.Donor))
+			cache.AddArena(workloads.NewArena(lease.Window()))
+			measure(fmt.Sprintf("+4 MiB from %v:", lease.Donor()))
 		}
 	})
 	cluster.RunFor(10000 * sim.Second)

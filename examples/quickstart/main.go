@@ -1,6 +1,10 @@
 // Quickstart: build the prototype's eight-node Venice rack, borrow
-// remote memory through the Monitor Node, and touch it with ordinary
-// loads — the complete Fig. 2 flow in a dozen lines of application code.
+// remote memory through the unified resource plane, and touch it with
+// ordinary loads — the complete Fig. 2 flow in a dozen lines of
+// application code. One Acquire call works for every resource kind
+// (memory, swap, accelerators, NICs, direct attaches) on both flat and
+// rack-scale clusters, and the plane's observer narrates each lease's
+// lifecycle.
 package main
 
 import (
@@ -16,22 +20,31 @@ func main() {
 	defer cluster.Close()
 	cluster.RunFor(1 * sim.Second) // let agents register resources
 
+	// Watch the lease lifecycle: granted / released / revoked /
+	// failed-over events flow through one stream.
+	cancel := cluster.Observe(func(ev core.Event) {
+		fmt.Printf("event: %s %s %v->%v (%d MiB)\n",
+			ev.Kind, ev.Type, ev.Donor, ev.Recipient, ev.Size>>20)
+	})
+	defer cancel()
+
 	app := cluster.Node(7)
 	app.Run("quickstart", func(p *sim.Proc) {
 		// Ask for 256 MiB more memory than this node has. The MN picks a
 		// donor, the donor hot-removes and exports a region, and it
-		// appears at lease.WindowBase in our address space.
-		lease, err := cluster.BorrowMemory(p, app, 256<<20)
+		// appears at the lease's window in our address space.
+		lease, err := cluster.Acquire(p, core.NewRequest(core.Memory, app, 256<<20))
 		if err != nil {
 			panic(err)
 		}
+		win, size := lease.Window()
 		fmt.Printf("borrowed %d MiB from %v at window %#x\n",
-			lease.Size>>20, lease.Donor, lease.WindowBase)
+			size>>20, lease.Donor(), win)
 
 		// The borrowed window is ordinary memory: no special API.
 		t0 := p.Now()
 		for i := uint64(0); i < 64; i++ {
-			app.Mem.Read(p, lease.WindowBase+i*4096, 64)
+			app.Mem.Read(p, win+i*4096, 64)
 		}
 		app.Mem.Flush(p)
 		fmt.Printf("64 random cacheline fills took %v (%v each)\n",
@@ -39,7 +52,7 @@ func main() {
 
 		fmt.Printf("CRMA fills issued: %d, donor served: %d\n",
 			app.EP.CRMA.Stats.Fills,
-			cluster.Nodes[lease.Donor].EP.CRMA.Stats.Served)
+			cluster.Nodes[lease.Donor()].EP.CRMA.Stats.Served)
 
 		lease.Release(p)
 		fmt.Println("lease released; donor memory returned")

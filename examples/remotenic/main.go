@@ -27,12 +27,13 @@ func main() {
 		slaves := []vnic.Slave{&vnic.LocalSlave{NIC: local}}
 
 		for i := 0; i < 2; i++ {
-			lease, err := cluster.AttachNIC(p, app)
+			lease, err := cluster.Acquire(p, core.NewRequest(core.NIC, app, 0))
 			if err != nil {
 				panic(err)
 			}
-			fmt.Printf("attached remote NIC on %v\n", lease.Donor.ID)
-			slaves = append(slaves, lease.VNIC)
+			nic := lease.(*core.NICLease)
+			fmt.Printf("attached remote NIC on %v\n", nic.Donor())
+			slaves = append(slaves, nic.VNIC)
 		}
 
 		for _, size := range []int{4, 256, 1400} {

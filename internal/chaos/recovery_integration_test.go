@@ -49,14 +49,14 @@ func TestKillTheDonor(t *testing.T) {
 	completed := 0
 	var issuedAt, doneAt []sim.Time
 	done := recipient.Run("tenant", func(p *sim.Proc) {
-		var err error
-		lease, err = cl.BorrowMemory(p, recipient, leaseSize)
+		l, err := cl.Acquire(p, core.NewRequest(core.Memory, recipient, leaseSize))
 		if err != nil {
 			t.Errorf("borrow: %v", err)
 			return
 		}
-		if lease.Donor != 5 {
-			t.Errorf("test premise broken: lease landed on %v, want 5", lease.Donor)
+		lease = l.(*core.MemoryLease)
+		if lease.Donor() != 5 {
+			t.Errorf("test premise broken: lease landed on %v, want 5", lease.Donor())
 			return
 		}
 		// Kill the donor mid-stream, restart it well after failover.

@@ -36,7 +36,7 @@ func (a *Adaptive) Get(p *sim.Proc, offset uint64, size int, pattern transport.P
 		// Through the cache hierarchy: hardware cacheline fills.
 		a.Node.Mem.Read(p, a.Lease.WindowBase+offset, size)
 	case transport.ChanRDMA:
-		a.Node.EP.RDMA.Read(p, a.Lease.Donor, a.donorAddr(offset), size)
+		a.Node.EP.RDMA.Read(p, a.Lease.Donor(), a.donorAddr(offset), size)
 	case transport.ChanQPair:
 		a.message(p, size)
 	}
@@ -52,7 +52,7 @@ func (a *Adaptive) Put(p *sim.Proc, offset uint64, size int, pattern transport.P
 	case transport.ChanCRMA:
 		a.Node.Mem.Write(p, a.Lease.WindowBase+offset, size)
 	case transport.ChanRDMA:
-		a.Node.EP.RDMA.Write(p, a.Lease.Donor, a.donorAddr(offset), size)
+		a.Node.EP.RDMA.Write(p, a.Lease.Donor(), a.donorAddr(offset), size)
 	case transport.ChanQPair:
 		a.message(p, size)
 	}

@@ -42,7 +42,9 @@ type Config struct {
 	SweepInterval sim.Dur
 }
 
-// Cluster is a running Venice rack.
+// Cluster is a running Venice rack. It implements Plane: acquire any
+// shareable resource with Acquire/AcquireAll and watch lease lifecycles
+// with Observe.
 type Cluster struct {
 	Eng    *sim.Engine
 	P      *sim.Params
@@ -50,6 +52,9 @@ type Cluster struct {
 	Nodes  []*node.Node
 	Agents []*monitor.Agent
 	MN     *monitor.Monitor
+
+	// hub fans lease-lifecycle events out to Observe subscribers.
+	hub eventHub
 }
 
 // NewCluster builds the rack.
@@ -84,6 +89,9 @@ func NewCluster(cfg Config) *Cluster {
 		c.Agents = append(c.Agents, a)
 	}
 	c.MN = monitor.New(c.Nodes[cfg.MonitorNode].EP, topo)
+	// Surface the MN's recovery transitions (revocations, donor
+	// failovers) on the plane's event stream.
+	c.MN.Observe(c.hub.forwardRecovery)
 	if cfg.HeartbeatTimeout > 0 {
 		c.MN.HeartbeatTimeout = cfg.HeartbeatTimeout
 	}

@@ -57,7 +57,7 @@ func TestBorrowMemoryEndToEnd(t *testing.T) {
 	if recipient.EP.CRMA.Stats.Fills != 1 {
 		t.Fatalf("fills = %d", recipient.EP.CRMA.Stats.Fills)
 	}
-	donor := c.Nodes[lease.Donor]
+	donor := c.Nodes[lease.Donor()]
 	if donor.MemMgr.Removed() != size {
 		t.Fatalf("donor removed = %d", donor.MemMgr.Removed())
 	}
@@ -78,7 +78,7 @@ func TestLeaseReleaseReturnsMemory(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		donor := c.Nodes[lease.Donor]
+		donor := c.Nodes[lease.Donor()]
 		lease.Release(p)
 		if donor.MemMgr.Removed() != 0 {
 			t.Errorf("donor still donating %d bytes", donor.MemMgr.Removed())
@@ -182,8 +182,8 @@ func TestAttachAcceleratorViaMN(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if lease.Donor.ID != 3 {
-			t.Errorf("donor = %v, want n3", lease.Donor.ID)
+		if lease.Donor() != 3 {
+			t.Errorf("donor = %v, want n3", lease.Donor())
 		}
 		lease.Handle.Run(p, "fft", 1<<20)
 		lease.Release(p)
@@ -206,8 +206,8 @@ func TestAttachNICViaMN(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if lease.Donor.ID != 2 {
-			t.Errorf("donor = %v, want n2", lease.Donor.ID)
+		if lease.Donor() != 2 {
+			t.Errorf("donor = %v, want n2", lease.Donor())
 		}
 		for i := 0; i < 10; i++ {
 			lease.VNIC.Send(p, 256)

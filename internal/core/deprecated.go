@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/accel"
+	"repro/internal/monitor"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// This file is the legacy acquisition surface, kept as thin wrappers
+// over the unified Plane API so old call sites keep compiling and the
+// migration is verifiable: every wrapper builds the equivalent Request
+// and delegates to Acquire, producing byte-identical grants (asserted
+// by TestDeprecatedWrappersMatchAcquire). New code should call
+// Acquire/AcquireAll directly; the API-freeze check (TestAPIFreeze)
+// keeps examples and scenarios off these entry points.
+
+// BorrowMemory asks the Monitor Node for size bytes of remote memory and
+// hot-plugs the granted region into recipient's address space — the
+// complete Fig. 2 flow.
+//
+// Deprecated: use Acquire with Kind Memory.
+func (c *Cluster) BorrowMemory(p *sim.Proc, recipient *node.Node, size uint64) (*MemoryLease, error) {
+	l, err := c.Acquire(p, NewRequest(Memory, recipient, size))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*MemoryLease), nil
+}
+
+// BorrowSwap obtains size bytes of donor memory through the MN and wraps
+// it in a remote-swap block device.
+//
+// Deprecated: use Acquire with Kind Swap.
+func (c *Cluster) BorrowSwap(p *sim.Proc, recipient *node.Node, size uint64) (*SwapLease, error) {
+	l, err := c.Acquire(p, NewRequest(Swap, recipient, size))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*SwapLease), nil
+}
+
+// AttachAccelerator asks the MN for a remote accelerator and opens a
+// handle to mailbox mb on the chosen donor.
+//
+// Deprecated: use Acquire with Kind Accel, WithClient, WithDevice, and
+// WithExclusive.
+func (c *Cluster) AttachAccelerator(p *sim.Proc, recipient *node.Node, client *accel.Client, mb int, exclusive bool) (*AccelLease, error) {
+	opts := []Option{WithClient(client), WithDevice(mb)}
+	if exclusive {
+		opts = append(opts, WithExclusive())
+	}
+	l, err := c.Acquire(p, NewRequest(Accel, recipient, 0, opts...))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*AccelLease), nil
+}
+
+// AttachNIC asks the MN for a remote NIC and builds the VNIC path to the
+// chosen donor's physical NIC.
+//
+// Deprecated: use Acquire with Kind NIC.
+func (c *Cluster) AttachNIC(p *sim.Proc, recipient *node.Node) (*NICLease, error) {
+	l, err := c.Acquire(p, NewRequest(NIC, recipient, 0))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*NICLease), nil
+}
+
+// AttachMemoryDirect wires a borrow between two specific nodes without
+// the Monitor Node — the controlled configuration of the §4.2 latency
+// studies. It predates the Plane surface, so it emits no lifecycle
+// events.
+//
+// Deprecated: use a plane's Acquire with Kind DirectMemory and
+// WithDonor, which emits the same lifecycle events as every other
+// lease.
+func AttachMemoryDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*MemoryLease, error) {
+	return attachMemoryDirect(p, recipient, donor, size)
+}
+
+// AttachSwapDirect builds the swap device between two specific nodes
+// without the MN. Like AttachMemoryDirect, it emits no lifecycle
+// events.
+//
+// Deprecated: use a plane's Acquire with Kind DirectSwap and WithDonor.
+func AttachSwapDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*SwapLease, error) {
+	return attachSwapDirect(p, recipient, donor, size)
+}
+
+// BorrowMemory asks the recipient's rack sub-MN for size bytes of
+// remote memory — served rack-locally when possible, delegated across
+// the spine by the root MN when the rack is starved.
+//
+// Deprecated: use Acquire with Kind Memory.
+func (c *HierCluster) BorrowMemory(p *sim.Proc, recipient *node.Node, size uint64) (*MemoryLease, error) {
+	l, err := c.Acquire(p, NewRequest(Memory, recipient, size))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*MemoryLease), nil
+}
+
+// BorrowMemoryScoped is BorrowMemory with an explicit placement scope:
+// ScopeLocalRack pins the lease to the recipient's rack, ScopeRemoteRack
+// forces delegation to another rack.
+//
+// Deprecated: use Acquire with Kind Memory and WithScope.
+func (c *HierCluster) BorrowMemoryScoped(p *sim.Proc, recipient *node.Node, size uint64, scope monitor.AllocScope) (*MemoryLease, error) {
+	l, err := c.Acquire(p, NewRequest(Memory, recipient, size, WithScope(scope)))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*MemoryLease), nil
+}

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/accel"
+	"repro/internal/fabric"
 	"repro/internal/monitor"
 	"repro/internal/node"
 	"repro/internal/sim"
@@ -12,64 +11,77 @@ import (
 
 // AccelLease is a remote accelerator attachment: the MN chose a donor
 // advertising a free device, and the recipient drives it through the
-// accelerator library's handle (§5.2.2).
+// accelerator library's handle (§5.2.2). It satisfies Lease; acquire
+// one with Kind Accel plus WithClient (and WithDevice/WithExclusive for
+// the mailbox).
 type AccelLease struct {
 	Handle    *accel.RemoteHandle
-	Donor     *node.Node
 	Recipient *node.Node
-	allocID   int
-	cluster   *Cluster
+
+	donor   *node.Node
+	allocID int
+	mn      fabric.NodeID
+	hub     *eventHub
 }
 
-// AttachAccelerator asks the MN for a remote accelerator and opens a
-// handle to mailbox mb on the chosen donor. The donor must be running an
-// accel.Service (its agent advertises the device count).
-func (c *Cluster) AttachAccelerator(p *sim.Proc, recipient *node.Node, client *accel.Client, mb int, exclusive bool) (*AccelLease, error) {
-	resp := monitor.RequestDevice(p, recipient.EP, c.MN.Node(), monitor.DevAccelerator)
-	if !resp.OK {
-		return nil, fmt.Errorf("core: attach accelerator: %s", resp.Err)
-	}
-	h := client.Attach(resp.Donor, mb, exclusive)
-	return &AccelLease{
-		Handle:    h,
-		Donor:     c.Nodes[resp.Donor],
-		Recipient: recipient,
-		allocID:   resp.AllocID,
-		cluster:   c,
-	}, nil
-}
+// Kind reports Accel.
+func (l *AccelLease) Kind() Kind { return Accel }
+
+// Donor reports the node hosting the attached device.
+func (l *AccelLease) Donor() fabric.NodeID { return l.donor.ID }
+
+// DonorNode returns the donor node itself (device leases know their
+// node, not just its id — the donor runs the accel.Service).
+func (l *AccelLease) DonorNode() *node.Node { return l.donor }
+
+// Window reports no memory window: device leases move data over the
+// transport channels, not a hot-plugged region.
+func (l *AccelLease) Window() (base, size uint64) { return 0, 0 }
 
 // Release returns the device to the donor's advertised pool.
 func (l *AccelLease) Release(p *sim.Proc) {
-	monitor.FreeDevice(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+	monitor.FreeDevice(p, l.Recipient.EP, l.mn, l.allocID)
+	if l.hub != nil {
+		l.hub.emit(Event{
+			Type: LeaseReleased, Kind: Accel, At: p.Now(),
+			Recipient: l.Recipient.ID, Donor: l.donor.ID, Size: 1,
+		})
+	}
 }
 
 // NICLease is a remote NIC attachment: a VNIC front-end whose frames
-// egress on the donor's physical NIC (§5.2.3).
+// egress on the donor's physical NIC (§5.2.3). It satisfies Lease;
+// acquire one with Kind NIC.
 type NICLease struct {
 	VNIC      *vnic.VNIC
-	Donor     *node.Node
 	Recipient *node.Node
-	allocID   int
-	cluster   *Cluster
+
+	donor   *node.Node
+	allocID int
+	mn      fabric.NodeID
+	hub     *eventHub
 }
 
-// AttachNIC asks the MN for a remote NIC and builds the VNIC path to the
-// chosen donor's physical NIC (created here on its behalf).
-func (c *Cluster) AttachNIC(p *sim.Proc, recipient *node.Node) (*NICLease, error) {
-	resp := monitor.RequestDevice(p, recipient.EP, c.MN.Node(), monitor.DevNIC)
-	if !resp.OK {
-		return nil, fmt.Errorf("core: attach NIC: %s", resp.Err)
-	}
-	donor := c.Nodes[resp.Donor]
-	dn := vnic.NewNIC(c.Eng, c.P, fmt.Sprintf("eth0@%v", donor.ID))
-	v := vnic.AttachRemote(recipient, donor, dn)
-	return &NICLease{VNIC: v, Donor: donor, Recipient: recipient,
-		allocID: resp.AllocID, cluster: c}, nil
-}
+// Kind reports NIC.
+func (l *NICLease) Kind() Kind { return NIC }
+
+// Donor reports the node whose physical NIC carries the VNIC's frames.
+func (l *NICLease) Donor() fabric.NodeID { return l.donor.ID }
+
+// DonorNode returns the donor node itself.
+func (l *NICLease) DonorNode() *node.Node { return l.donor }
+
+// Window reports no memory window.
+func (l *NICLease) Window() (base, size uint64) { return 0, 0 }
 
 // Release stops the back-end and returns the NIC to the pool.
 func (l *NICLease) Release(p *sim.Proc) {
 	l.VNIC.Close(p)
-	monitor.FreeDevice(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+	monitor.FreeDevice(p, l.Recipient.EP, l.mn, l.allocID)
+	if l.hub != nil {
+		l.hub.emit(Event{
+			Type: LeaseReleased, Kind: NIC, At: p.Now(),
+			Recipient: l.Recipient.ID, Donor: l.donor.ID, Size: 1,
+		})
+	}
 }

@@ -67,6 +67,10 @@ type HierCluster struct {
 	// MN on spine switch 0.
 	Subs []*monitor.Monitor
 	Root *monitor.Root
+
+	// hub fans lease-lifecycle events out to Observe subscribers,
+	// aggregated across every sub-MN and the root.
+	hub eventHub
 }
 
 // NewHierCluster builds the fabric, one sub-MN per rack (on the rack's
@@ -143,6 +147,7 @@ func NewHierCluster(cfg HierConfig) *HierCluster {
 	c.Agents = make([]*monitor.Agent, h.N)
 
 	c.Root = monitor.NewRoot(c.Nodes[h.SpineID(0)].EP)
+	c.Root.Observe(c.hub.forwardRecovery)
 	if cfg.RackBeatTimeout > 0 {
 		c.Root.RackBeatTimeout = cfg.RackBeatTimeout
 	} else {
@@ -155,6 +160,7 @@ func NewHierCluster(cfg HierConfig) *HierCluster {
 	for r := 0; r < cfg.Racks; r++ {
 		subNode := c.SubNode(r)
 		sub := monitor.New(c.Nodes[subNode].EP, h.Topology)
+		sub.Observe(c.hub.forwardRecovery)
 		sub.HeartbeatTimeout = hbTimeout
 		if cfg.SweepInterval > 0 {
 			sub.SweepInterval = cfg.SweepInterval
@@ -193,33 +199,6 @@ func (c *HierCluster) RackOf(n *node.Node) int {
 		panic(fmt.Sprintf("core: node %v is a spine switch, not a rack member", n.ID))
 	}
 	return r
-}
-
-// BorrowMemory asks the recipient's rack sub-MN for size bytes of
-// remote memory — served rack-locally when possible, delegated across
-// the spine by the root MN when the rack is starved — and hot-plugs the
-// granted region (Fig. 2 scaled out).
-func (c *HierCluster) BorrowMemory(p *sim.Proc, recipient *node.Node, size uint64) (*MemoryLease, error) {
-	return c.BorrowMemoryScoped(p, recipient, size, monitor.ScopeAny)
-}
-
-// BorrowMemoryScoped is BorrowMemory with an explicit placement scope:
-// ScopeLocalRack pins the lease to the recipient's rack, ScopeRemoteRack
-// forces delegation to another rack (the cross-rack traffic knob).
-func (c *HierCluster) BorrowMemoryScoped(p *sim.Proc, recipient *node.Node, size uint64, scope monitor.AllocScope) (*MemoryLease, error) {
-	sub := c.SubNode(c.RackOf(recipient))
-	win := recipient.NextHotplugWindow(size)
-	resp := monitor.RequestMemoryScoped(p, recipient.EP, sub, size, win, scope)
-	if !resp.OK {
-		return nil, fmt.Errorf("core: borrow %d bytes (scope %d): %s", size, scope, resp.Err)
-	}
-	lease, err := mountCRMA(p, recipient, resp.Donor, win, resp.DonorBase, size)
-	if err != nil {
-		return nil, err
-	}
-	lease.allocID = resp.AllocID
-	lease.mn = sub
-	return lease, nil
 }
 
 // RunFor advances virtual time by d.

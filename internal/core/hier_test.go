@@ -62,11 +62,11 @@ func TestHierBorrowScopes(t *testing.T) {
 	})
 	stepUntil(t, cl, done)
 
-	if r, ok := cl.Hier.RackOf(local.Donor); !ok || r != 0 {
-		t.Fatalf("ScopeLocalRack lease landed on %v (rack %d)", local.Donor, r)
+	if r, ok := cl.Hier.RackOf(local.Donor()); !ok || r != 0 {
+		t.Fatalf("ScopeLocalRack lease landed on %v (rack %d)", local.Donor(), r)
 	}
-	if r, ok := cl.Hier.RackOf(cross.Donor); !ok || r == 0 {
-		t.Fatalf("ScopeRemoteRack lease landed on %v (rack %d, want != 0)", cross.Donor, r)
+	if r, ok := cl.Hier.RackOf(cross.Donor()); !ok || r == 0 {
+		t.Fatalf("ScopeRemoteRack lease landed on %v (rack %d, want != 0)", cross.Donor(), r)
 	}
 	if got := cl.Root.Stats.Get("root.delegated"); got != 1 {
 		t.Fatalf("root.delegated = %d, want 1", got)
@@ -83,9 +83,9 @@ func TestHierBorrowScopes(t *testing.T) {
 		}
 	}
 	// The cross-rack donor got its region back.
-	if idle := cl.Node(int(cross.Donor)).MemMgr.Idle(); idle != cl.Node(int(cross.Donor)).DRAMBytes {
+	if idle := cl.Node(int(cross.Donor())).MemMgr.Idle(); idle != cl.Node(int(cross.Donor())).DRAMBytes {
 		t.Fatalf("cross donor %v idle %d after return, want full %d",
-			cross.Donor, idle, cl.Node(int(cross.Donor)).DRAMBytes)
+			cross.Donor(), idle, cl.Node(int(cross.Donor())).DRAMBytes)
 	}
 }
 
@@ -115,8 +115,8 @@ func TestHierStarvedRackEscalates(t *testing.T) {
 	if lease == nil {
 		t.Fatal("no lease")
 	}
-	if r, ok := cl.Hier.RackOf(lease.Donor); !ok || r == 0 {
-		t.Fatalf("starved-rack lease landed on %v (rack %d, want != 0)", lease.Donor, r)
+	if r, ok := cl.Hier.RackOf(lease.Donor()); !ok || r == 0 {
+		t.Fatalf("starved-rack lease landed on %v (rack %d, want != 0)", lease.Donor(), r)
 	}
 	if got := cl.Subs[0].Stats.Get("alloc.delegated"); got != 1 {
 		t.Fatalf("sub-MN alloc.delegated = %d, want 1", got)
@@ -147,7 +147,7 @@ func TestHierRackLocalCrashStaysLocal(t *testing.T) {
 			t.Errorf("borrow: %v", err)
 			return
 		}
-		donor := lease.Donor
+		donor := lease.Donor()
 		if r, _ := cl.Hier.RackOf(donor); r != 0 || donor == cl.SubNode(0) {
 			t.Errorf("test premise broken: donor %v", donor)
 			return
@@ -218,13 +218,13 @@ func TestHierKillSubMN(t *testing.T) {
 		// and distance-first donor election inside rack 1 picks its
 		// nearest node to the requester — the uplink node hosting the
 		// sub-MN. Killing it takes out lease backing AND control plane.
-		if lease.Donor != cl.SubNode(1) {
-			t.Errorf("test premise broken: donor %v, want rack-1 sub-MN %v", lease.Donor, cl.SubNode(1))
+		if lease.Donor() != cl.SubNode(1) {
+			t.Errorf("test premise broken: donor %v, want rack-1 sub-MN %v", lease.Donor(), cl.SubNode(1))
 			return
 		}
 		cl.Eng.Schedule(sim.Millisecond, func() {
-			cl.Net.SetNodeDown(lease.Donor, true)
-			cl.Agents[lease.Donor].Crash()
+			cl.Net.SetNodeDown(lease.Donor(), true)
+			cl.Agents[lease.Donor()].Crash()
 		})
 		rng := sim.NewRNG(99)
 		for i := 0; i < reads; i++ {

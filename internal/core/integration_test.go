@@ -123,8 +123,8 @@ func TestConcurrentBorrowersShareOneDonor(t *testing.T) {
 				t.Errorf("borrower %d: %v", i, err)
 				return
 			}
-			if lease.Donor != 1 {
-				t.Errorf("borrower %d: donor %v, want n1", i, lease.Donor)
+			if lease.Donor() != 1 {
+				t.Errorf("borrower %d: donor %v, want n1", i, lease.Donor())
 			}
 			n.Mem.Read(p, lease.WindowBase+4096, 64)
 			n.Mem.Flush(p)

@@ -14,9 +14,10 @@ import (
 // MemoryLease is a live remote-memory borrow: a hot-plugged window on
 // the recipient backed by a donor region over the CRMA channel. Accesses
 // to the window are ordinary loads and stores — no special API (§5.2.1).
+// It satisfies Lease; acquire one with Kind Memory (MN-brokered) or
+// DirectMemory (explicit donor, no MN).
 type MemoryLease struct {
 	Recipient  *node.Node
-	Donor      fabric.NodeID
 	WindowBase uint64
 	// DonorBase is the region's donor-local base address — what the RDMA
 	// channel (which addresses donor memory directly) targets for bulk
@@ -24,45 +25,44 @@ type MemoryLease struct {
 	DonorBase uint64
 	Size      uint64
 
+	donor   fabric.NodeID
+	kind    Kind
 	allocID int           // -1 for direct (MN-less) attachments
 	mn      fabric.NodeID // the MN (or sub-MN) that brokered the lease
 	region  *memsys.Region
 	entry   *transport.RAMTEntry
+	hub     *eventHub
 }
 
-// BorrowMemory asks the Monitor Node for size bytes of remote memory and
-// hot-plugs the granted region into recipient's address space — the
-// complete Fig. 2 flow. The returned lease's window can be used
-// immediately by ordinary code.
-func (c *Cluster) BorrowMemory(p *sim.Proc, recipient *node.Node, size uint64) (*MemoryLease, error) {
-	win := recipient.NextHotplugWindow(size)
-	resp := monitor.RequestMemory(p, recipient.EP, c.MN.Node(), size, win)
-	if !resp.OK {
-		return nil, fmt.Errorf("core: borrow %d bytes: %s", size, resp.Err)
-	}
-	lease, err := mountCRMA(p, recipient, resp.Donor, win, resp.DonorBase, size)
-	if err != nil {
-		return nil, err
-	}
-	lease.allocID = resp.AllocID
-	lease.mn = c.MN.Node()
-	return lease, nil
-}
+// Kind reports how the lease was acquired (Memory or DirectMemory).
+func (l *MemoryLease) Kind() Kind { return l.kind }
 
-// AttachMemoryDirect wires a borrow between two specific nodes without
+// Donor reports the donor node as of the grant. Recovery may re-place
+// the backing afterwards; the window keeps working either way (the
+// recipient's agent retargets it transparently), but bulk RDMA against
+// DonorBase must follow the plane's failed-over events to stay aimed.
+func (l *MemoryLease) Donor() fabric.NodeID { return l.donor }
+
+// Window reports the hot-plugged recipient-side window.
+func (l *MemoryLease) Window() (base, size uint64) { return l.WindowBase, l.Size }
+
+// attachMemoryDirect wires a borrow between two specific nodes without
 // the Monitor Node — the controlled configuration of the §4.2 latency
 // studies. The donor side is driven directly rather than via its agent.
-func AttachMemoryDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*MemoryLease, error) {
+func attachMemoryDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*MemoryLease, error) {
 	win := recipient.NextHotplugWindow(size)
 	donorBase, err := donor.MemMgr.HotRemove(p, size)
 	if err != nil {
-		return nil, fmt.Errorf("core: direct attach: %w", err)
+		// A drained donor is the direct-path analogue of "no donor with
+		// enough idle bytes": transient, so WithRetry engages.
+		return nil, fmt.Errorf("core: direct attach: %w: %w", err, ErrUnavailable)
 	}
 	donor.EP.CRMA.Export(recipient.ID, win, size, donorBase)
 	return mountCRMA(p, recipient, donor.ID, win, donorBase, size)
 }
 
-// mountCRMA installs the recipient-side mapping and hot-plugs the window.
+// mountCRMA installs the recipient-side mapping and hot-plugs the
+// window. The caller stamps kind, broker, and event-hub fields.
 func mountCRMA(p *sim.Proc, recipient *node.Node, donor fabric.NodeID, win, donorBase, size uint64) (*MemoryLease, error) {
 	entry, err := recipient.EP.CRMA.Map(win, size, donor, donorBase)
 	if err != nil {
@@ -78,10 +78,11 @@ func mountCRMA(p *sim.Proc, recipient *node.Node, donor fabric.NodeID, win, dono
 	p.Sleep(recipient.P.HotplugOp)
 	return &MemoryLease{
 		Recipient:  recipient,
-		Donor:      donor,
 		WindowBase: win,
 		DonorBase:  donorBase,
 		Size:       size,
+		donor:      donor,
+		kind:       DirectMemory,
 		allocID:    -1,
 		region:     region,
 		entry:      entry,
@@ -99,4 +100,11 @@ func (l *MemoryLease) Release(p *sim.Proc) {
 		monitor.FreeMemory(p, l.Recipient.EP, l.mn, l.allocID)
 	}
 	p.Sleep(l.Recipient.P.HotplugOp)
+	if l.hub != nil {
+		l.hub.emit(Event{
+			Type: LeaseReleased, Kind: l.kind, At: p.Now(),
+			Recipient: l.Recipient.ID, Donor: l.donor,
+			Size: l.Size, Window: l.WindowBase,
+		})
+	}
 }

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/fabric"
+	"repro/internal/monitor"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// This file is the unified resource-plane surface: one typed Acquire
+// entry point over every resource the paper shares — remote memory
+// (CRMA), swap (RDMA block device), accelerators, NICs, and the MN-less
+// direct attachments of the §4.2 latency studies — implemented by both
+// the flat Cluster and the rack-scale HierCluster, so scenario code is
+// written once and runs on either plane.
+
+// Kind selects the resource class of a Request.
+type Kind int
+
+const (
+	// Memory is an MN-brokered remote-memory borrow hot-plugged into the
+	// recipient's address space (the Fig. 2 flow).
+	Memory Kind = iota + 1
+	// Swap is an MN-brokered donor region wrapped in the remote-swap
+	// block device (§5.2.1), to be mounted under a Paged backend.
+	Swap
+	// Accel is an MN-brokered remote accelerator attachment (§5.2.2).
+	// The request must carry WithClient; WithDevice selects the donor
+	// mailbox and WithExclusive reserves it.
+	Accel
+	// NIC is an MN-brokered remote NIC attachment (§5.2.3).
+	NIC
+	// DirectMemory wires a memory borrow between two specific nodes
+	// without the Monitor Node — the controlled configuration of the
+	// §4.2 latency studies. The request must carry WithDonor.
+	DirectMemory
+	// DirectSwap is the MN-less form of Swap. The request must carry
+	// WithDonor.
+	DirectSwap
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Memory:
+		return "memory"
+	case Swap:
+		return "swap"
+	case Accel:
+		return "accelerator"
+	case NIC:
+		return "nic"
+	case DirectMemory:
+		return "direct-memory"
+	case DirectSwap:
+		return "direct-swap"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// memoryKind reports whether k leases bytes (as opposed to a device
+// unit).
+func (k Kind) memoryKind() bool {
+	return k == Memory || k == Swap || k == DirectMemory || k == DirectSwap
+}
+
+// direct reports whether k bypasses the Monitor Node.
+func (k Kind) direct() bool { return k == DirectMemory || k == DirectSwap }
+
+// RetryPolicy shapes WithRetry: how many times an Acquire is attempted
+// and how long to back off between attempts. Only transient failures
+// (no donor available, MN timeout) are retried; request validation
+// errors fail immediately.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (values < 1 mean one).
+	Attempts int
+	// Backoff is the virtual-time sleep before each re-attempt.
+	Backoff sim.Dur
+	// Factor scales Backoff after each re-attempt when > 1 (exponential
+	// backoff); values <= 1 keep the schedule flat.
+	Factor float64
+}
+
+// Request names one resource acquisition: what kind, for which node,
+// how much, plus functional options. Build it with NewRequest (or a
+// struct literal refined by With).
+type Request struct {
+	// Kind is the resource class.
+	Kind Kind
+	// On is the recipient node the resource is acquired for.
+	On *node.Node
+	// Size is the lease size in bytes for memory kinds; device kinds
+	// (Accel, NIC) lease one unit and ignore it.
+	Size uint64
+
+	// Option-carried fields (see With*).
+	scope     monitor.AllocScope
+	hasScope  bool
+	exclusive bool
+	device    int
+	hasDevice bool
+	donor     *node.Node
+	client    *accel.Client
+	timeout   sim.Dur
+	retry     RetryPolicy
+}
+
+// Option refines a Request.
+type Option func(*Request)
+
+// NewRequest builds a Request for kind on behalf of node on, applying
+// opts.
+func NewRequest(kind Kind, on *node.Node, size uint64, opts ...Option) Request {
+	r := Request{Kind: kind, On: on, Size: size}
+	return r.With(opts...)
+}
+
+// With returns a copy of the request with opts applied.
+func (r Request) With(opts ...Option) Request {
+	for _, o := range opts {
+		o(&r)
+	}
+	return r
+}
+
+// WithScope pins a memory request's placement (rack-local, remote-rack,
+// or anywhere) on a hierarchical plane. Flat planes have no racks, so
+// any explicit scope other than ScopeAny is a validation error there.
+func WithScope(scope monitor.AllocScope) Option {
+	return func(r *Request) { r.scope, r.hasScope = scope, true }
+}
+
+// WithExclusive reserves an accelerator mailbox for this recipient
+// alone (Accel only).
+func WithExclusive() Option {
+	return func(r *Request) { r.exclusive = true }
+}
+
+// WithDevice selects the donor-side device id — the accelerator mailbox
+// to attach (Accel only; the default is mailbox 0).
+func WithDevice(id int) Option {
+	return func(r *Request) { r.device, r.hasDevice = id, true }
+}
+
+// WithTimeout bounds the Monitor Node round trip: an unreachable or
+// wedged MN fails the acquire after d of virtual time instead of
+// parking the requester forever. The zero default waits indefinitely.
+func WithTimeout(d sim.Dur) Option {
+	return func(r *Request) { r.timeout = d }
+}
+
+// WithRetry re-attempts transient acquisition failures (no donor, MN
+// timeout) on the given schedule.
+func WithRetry(policy RetryPolicy) Option {
+	return func(r *Request) { r.retry = policy }
+}
+
+// WithDonor names the donor node of a DirectMemory/DirectSwap request
+// (direct attachments bypass the MN's donor election).
+func WithDonor(donor *node.Node) Option {
+	return func(r *Request) { r.donor = donor }
+}
+
+// WithClient supplies the accelerator library client an Accel request
+// attaches through.
+func WithClient(c *accel.Client) Option {
+	return func(r *Request) { r.client = c }
+}
+
+// Acquire failure classes, surfaced with errors.Is through whatever
+// context the error carries.
+var (
+	// ErrBadRequest marks a request that can never succeed as written
+	// (unknown kind, zero size, an option its kind does not take).
+	// Never retried.
+	ErrBadRequest = errors.New("invalid request")
+	// ErrUnavailable marks a transient placement failure: no live donor
+	// (or donor rack) could back the request right now. Retryable.
+	ErrUnavailable = errors.New("resource unavailable")
+	// ErrTimeout marks an MN round trip that outran WithTimeout.
+	// Retryable.
+	ErrTimeout = errors.New("monitor call timed out")
+)
+
+// validate rejects requests that can never succeed. hier tells whether
+// the plane has racks (and so accepts placement scopes).
+func (r *Request) validate(hier bool) error {
+	if r.On == nil {
+		return fmt.Errorf("%w: no recipient node", ErrBadRequest)
+	}
+	switch {
+	case r.Kind.memoryKind():
+		if r.Size == 0 {
+			return fmt.Errorf("%w: zero-size %s request", ErrBadRequest, r.Kind)
+		}
+	case r.Kind == Accel:
+		if r.client == nil {
+			return fmt.Errorf("%w: accelerator request needs WithClient", ErrBadRequest)
+		}
+	case r.Kind == NIC:
+		// Nothing kind-specific beyond the shared option checks below.
+	default:
+		return fmt.Errorf("%w: unknown kind %s", ErrBadRequest, r.Kind)
+	}
+	// The mailbox/exclusivity/client options shape accelerator
+	// attachments only.
+	if r.Kind != Accel {
+		if r.hasDevice {
+			return fmt.Errorf("%w: device id on a %s request", ErrBadRequest, r.Kind)
+		}
+		if r.exclusive {
+			return fmt.Errorf("%w: exclusive flag on a %s request", ErrBadRequest, r.Kind)
+		}
+		if r.client != nil {
+			return fmt.Errorf("%w: accelerator client on a %s request", ErrBadRequest, r.Kind)
+		}
+	}
+	if r.Kind.direct() {
+		if r.donor == nil {
+			return fmt.Errorf("%w: %s request needs WithDonor", ErrBadRequest, r.Kind)
+		}
+		if r.donor == r.On {
+			return fmt.Errorf("%w: %s donor and recipient are the same node", ErrBadRequest, r.Kind)
+		}
+		if r.timeout > 0 {
+			return fmt.Errorf("%w: WithTimeout on a %s request (direct attaches make no monitor round trip)", ErrBadRequest, r.Kind)
+		}
+	} else if r.donor != nil {
+		return fmt.Errorf("%w: WithDonor on a %s request (the MN elects donors)", ErrBadRequest, r.Kind)
+	}
+	if r.hasScope {
+		// Placement scopes steer the MN's memory donor election; no
+		// other kind consults them.
+		if r.Kind != Memory && r.Kind != Swap {
+			return fmt.Errorf("%w: placement scope on a %s request", ErrBadRequest, r.Kind)
+		}
+		if !hier && r.scope != monitor.ScopeAny {
+			return fmt.Errorf("%w: placement scope on a flat plane (no racks)", ErrBadRequest)
+		}
+	}
+	return nil
+}
+
+// Lease is the unified view of a live resource attachment — what every
+// concrete lease (MemoryLease, SwapLease, AccelLease, NICLease)
+// satisfies. Type-assert to the concrete lease for kind-specific
+// surfaces (a memory window's base, a swap device, an accelerator
+// handle, a VNIC).
+type Lease interface {
+	// Release returns the resource to its donor (and, for MN-brokered
+	// leases, clears the allocation row).
+	Release(p *sim.Proc)
+	// Kind reports the resource class this lease was acquired as.
+	Kind() Kind
+	// Donor reports the donor node as of the grant. Recovery may move a
+	// memory lease's backing afterwards; the recipient-side window keeps
+	// working either way (the agent retargets it transparently).
+	Donor() fabric.NodeID
+	// Window reports the recipient-side address window (base, size).
+	// Leases with no recipient window — swap before Mount, devices —
+	// report base 0 (and, for devices, size 0).
+	Window() (base, size uint64)
+}
+
+// Plane is the single acquisition surface both cluster shapes
+// implement: request any shareable resource with Acquire, batch with
+// AcquireAll, and watch every lease's lifecycle with Observe.
+type Plane interface {
+	// Acquire obtains one resource described by req, blocking the
+	// calling process for the grant flow's virtual time.
+	Acquire(p *sim.Proc, req Request) (Lease, error)
+	// AcquireAll grants every request or none: on the first failure the
+	// leases already granted are released (in reverse order) before the
+	// error returns.
+	AcquireAll(p *sim.Proc, reqs ...Request) ([]Lease, error)
+	// Observe registers fn for lease-lifecycle events (granted,
+	// released, revoked, failed-over, acquire-failed) and returns its
+	// cancel. Observers run synchronously and cost no virtual time.
+	Observe(fn Observer) (cancel func())
+}
+
+// EventType classifies a lease-lifecycle event.
+type EventType int
+
+const (
+	// LeaseGranted fires when an Acquire (or a deprecated wrapper)
+	// completes.
+	LeaseGranted EventType = iota
+	// LeaseReleased fires when a lease is released voluntarily.
+	LeaseReleased
+	// LeaseRevoked fires when monitor recovery destroys a lease
+	// involuntarily (dead recipient, or a dead donor with no surviving
+	// replacement).
+	LeaseRevoked
+	// LeaseFailedOver fires when monitor recovery re-placed a lease's
+	// backing onto a new donor (Donor is the new one, OldDonor the
+	// failed one).
+	LeaseFailedOver
+	// LeaseAcquireFailed fires when an Acquire fails terminally: a
+	// validation error (never retried), or a transient failure that
+	// exhausted the request's retry schedule. Inside an AcquireAll
+	// batch the failing request emits this alongside the released
+	// events of its rolled-back predecessors; observers tracking
+	// capacity rather than caller errors can filter on Err.
+	LeaseAcquireFailed
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case LeaseGranted:
+		return "granted"
+	case LeaseReleased:
+		return "released"
+	case LeaseRevoked:
+		return "revoked"
+	case LeaseFailedOver:
+		return "failed-over"
+	case LeaseAcquireFailed:
+		return "acquire-failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one lease-lifecycle transition on a plane.
+type Event struct {
+	Type EventType
+	// Kind is the resource class. Events forwarded from monitor
+	// recovery (revoked, failed-over) cannot tell Memory from Swap —
+	// the MN accounts both as memory rows — and report Memory for both;
+	// DirectMemory/DirectSwap likewise surface their own recovery only
+	// through core (direct leases are invisible to the MN).
+	Kind Kind
+	At   sim.Time
+	// Recipient and Donor identify the lease's endpoints; for
+	// failed-over events Donor is the new donor and OldDonor the one it
+	// replaced.
+	Recipient fabric.NodeID
+	Donor     fabric.NodeID
+	OldDonor  fabric.NodeID
+	// Size is the lease size in bytes (device leases: 1).
+	Size uint64
+	// Window is the recipient-side window base, when the lease has one.
+	Window uint64
+	// Err carries the failure for acquire-failed events.
+	Err string
+}
+
+// Observer consumes plane events.
+type Observer func(Event)
+
+// eventHub fans plane events out to registered observers.
+type eventHub struct {
+	obs []Observer
+}
+
+// observe registers fn and returns its cancel.
+func (h *eventHub) observe(fn Observer) (cancel func()) {
+	h.obs = append(h.obs, fn)
+	i := len(h.obs) - 1
+	return func() { h.obs[i] = nil }
+}
+
+// emit delivers ev to every live observer in registration order.
+func (h *eventHub) emit(ev Event) {
+	for _, fn := range h.obs {
+		if fn != nil {
+			fn(ev)
+		}
+	}
+}
+
+// forwardRecovery adapts a monitor-level recovery event onto the
+// plane's stream. Grants and frees are NOT forwarded — the plane emits
+// those itself at the Acquire/Release call sites, where the true kind
+// (memory vs swap, direct or not) is still known.
+func (h *eventHub) forwardRecovery(ev monitor.LeaseEvent) {
+	var t EventType
+	switch ev.Type {
+	case monitor.LeaseRevoked:
+		t = LeaseRevoked
+	case monitor.LeaseFailedOver:
+		t = LeaseFailedOver
+	default:
+		return
+	}
+	h.emit(Event{
+		Type:      t,
+		Kind:      kindOfAlloc(ev.Alloc),
+		At:        ev.At,
+		Recipient: ev.Alloc.Recipient,
+		Donor:     ev.Alloc.Donor,
+		OldDonor:  ev.OldDonor,
+		Size:      ev.Alloc.Size,
+		Window:    ev.Alloc.RecipientBase,
+	})
+}
+
+// kindOfAlloc maps a monitor allocation row onto the plane's kinds.
+func kindOfAlloc(a monitor.Allocation) Kind {
+	switch {
+	case a.Kind == "memory":
+		return Memory
+	case a.Dev == monitor.DevNIC:
+		return NIC
+	default:
+		return Accel
+	}
+}
+
+// retryable reports whether err is worth re-attempting.
+func retryable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTimeout)
+}
+
+// acquireWithRetry runs one plane's single-attempt acquire under the
+// request's retry schedule, emitting the terminal acquire-failed event.
+func acquireWithRetry(p *sim.Proc, req Request, hub *eventHub,
+	once func(*sim.Proc, Request) (Lease, error)) (Lease, error) {
+	attempts := req.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := req.retry.Backoff
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			p.Sleep(backoff)
+			if f := req.retry.Factor; f > 1 {
+				backoff = sim.Dur(float64(backoff) * f)
+			}
+		}
+		var l Lease
+		if l, err = once(p, req); err == nil {
+			return l, nil
+		}
+		if !retryable(err) {
+			break
+		}
+	}
+	hub.emit(Event{
+		Type: LeaseAcquireFailed, Kind: req.Kind, At: p.Now(),
+		Recipient: recipientID(req.On), Size: req.Size, Err: err.Error(),
+	})
+	return nil, err
+}
+
+// recipientID tolerates the nil recipient a validation error reports.
+func recipientID(n *node.Node) fabric.NodeID {
+	if n == nil {
+		return 0
+	}
+	return n.ID
+}
+
+// acquireAll is the shared AcquireAll body: sequential grants, reverse
+// rollback on the first failure.
+func acquireAll(pl Plane, p *sim.Proc, reqs []Request) ([]Lease, error) {
+	leases := make([]Lease, 0, len(reqs))
+	for i, r := range reqs {
+		l, err := pl.Acquire(p, r)
+		if err != nil {
+			for j := len(leases) - 1; j >= 0; j-- {
+				leases[j].Release(p)
+			}
+			return nil, fmt.Errorf("core: batch acquire %d/%d (%s): %w", i+1, len(reqs), r.Kind, err)
+		}
+		leases = append(leases, l)
+	}
+	return leases, nil
+}

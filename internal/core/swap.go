@@ -12,51 +12,49 @@ import (
 
 // SwapLease is remote memory used as swap space (§5.2.1): a donor region
 // reached through the high-performance virtual block device over the
-// RDMA channel. The recipient mounts it under a Paged backend.
+// RDMA channel. The recipient mounts it under a Paged backend. It
+// satisfies Lease; acquire one with Kind Swap (MN-brokered) or
+// DirectSwap (explicit donor, no MN).
 type SwapLease struct {
 	Recipient *node.Node
-	Donor     fabric.NodeID
 	DonorBase uint64
 	Size      uint64
 	Dev       *memsys.RemoteSwap
 
+	donor   fabric.NodeID
+	kind    Kind
 	allocID int
-	cluster *Cluster
+	mn      fabric.NodeID
+	hub     *eventHub
 }
 
-// BorrowSwap obtains size bytes of donor memory through the MN and wraps
-// it in a remote-swap block device.
-func (c *Cluster) BorrowSwap(p *sim.Proc, recipient *node.Node, size uint64) (*SwapLease, error) {
-	resp := monitor.RequestMemory(p, recipient.EP, c.MN.Node(), size, 0)
-	if !resp.OK {
-		return nil, fmt.Errorf("core: borrow swap %d bytes: %s", size, resp.Err)
-	}
-	return &SwapLease{
-		Recipient: recipient,
-		Donor:     resp.Donor,
-		DonorBase: resp.DonorBase,
-		Size:      size,
-		Dev: &memsys.RemoteSwap{P: recipient.P, RDMA: recipient.EP.RDMA,
-			Donor: resp.Donor, Base: resp.DonorBase},
-		allocID: resp.AllocID,
-		cluster: c,
-	}, nil
-}
+// Kind reports how the lease was acquired (Swap or DirectSwap).
+func (l *SwapLease) Kind() Kind { return l.kind }
 
-// AttachSwapDirect builds the same device between two specific nodes
+// Donor reports the donor node backing the device.
+func (l *SwapLease) Donor() fabric.NodeID { return l.donor }
+
+// Window reports no recipient-side window: the lease reaches the donor
+// through the block device until Mount installs a paged region.
+func (l *SwapLease) Window() (base, size uint64) { return 0, l.Size }
+
+// attachSwapDirect builds the swap device between two specific nodes
 // without the MN.
-func AttachSwapDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*SwapLease, error) {
+func attachSwapDirect(p *sim.Proc, recipient, donor *node.Node, size uint64) (*SwapLease, error) {
 	base, err := donor.MemMgr.HotRemove(p, size)
 	if err != nil {
-		return nil, fmt.Errorf("core: direct swap attach: %w", err)
+		// Transient like the brokered path's donor-walk failure (see
+		// attachMemoryDirect).
+		return nil, fmt.Errorf("core: direct swap attach: %w: %w", err, ErrUnavailable)
 	}
 	return &SwapLease{
 		Recipient: recipient,
-		Donor:     donor.ID,
 		DonorBase: base,
 		Size:      size,
 		Dev: &memsys.RemoteSwap{P: recipient.P, RDMA: recipient.EP.RDMA,
 			Donor: donor.ID, Base: base},
+		donor:   donor.ID,
+		kind:    DirectSwap,
 		allocID: -1,
 	}, nil
 }
@@ -75,7 +73,13 @@ func (l *SwapLease) Mount(base, regionSize uint64, residentPages int) (*memsys.P
 
 // Release returns the donor memory (for MN-brokered leases).
 func (l *SwapLease) Release(p *sim.Proc) {
-	if l.allocID >= 0 && l.cluster != nil {
-		monitor.FreeMemory(p, l.Recipient.EP, l.cluster.MN.Node(), l.allocID)
+	if l.allocID >= 0 {
+		monitor.FreeMemory(p, l.Recipient.EP, l.mn, l.allocID)
+	}
+	if l.hub != nil {
+		l.hub.emit(Event{
+			Type: LeaseReleased, Kind: l.kind, At: p.Now(),
+			Recipient: l.Recipient.ID, Donor: l.donor, Size: l.Size,
+		})
 	}
 }

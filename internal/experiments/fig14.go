@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -47,11 +48,11 @@ func fig14Run(steps int, remote bool, seed uint64) (sim.Dur, float64) {
 			base := uint64(64 << 20)
 			cache.AddArena(workloads.NewArena(base, localSlice))
 			for s := 0; s < steps; s++ {
-				lease, err := c.BorrowMemory(pr, redisNode, uint64(fig14StepBytes))
+				lease, err := c.Acquire(pr, core.NewRequest(core.Memory, redisNode, uint64(fig14StepBytes)))
 				if err != nil {
 					panic(err)
 				}
-				cache.AddArena(workloads.NewArena(lease.WindowBase, lease.Size))
+				cache.AddArena(workloads.NewArena(lease.Window()))
 			}
 			// Trim the local slice from the comparison by shrinking the
 			// first arena's share of capacity: the sweep point is
@@ -162,36 +163,43 @@ func Fig14() *Fig14Result { return runSpec("fig14", fig14Spec()).(*Fig14Result) 
 // fig14Donor measures a donor's own Connected Components job with or
 // without a recipient hammering borrowed memory (§7.1 reports the
 // serving impact is negligible because the sharing traffic is
-// insignificant).
+// insignificant). The hammer attaches through the plane's DirectMemory
+// kind — the MN-less §4.2 configuration, on the same Acquire surface
+// (and lifecycle event stream) as every brokered lease.
 func fig14Donor(withTraffic bool, seed uint64) sim.Dur {
 	run := func(withTraffic bool) sim.Dur {
 		p := sim.Default()
-		rig := newPair(&p, seed)
-		defer rig.close()
+		topo := fabric.Pair()
+		c := core.NewCluster(core.Config{Params: &p, Topology: &topo,
+			NodeMemBytes: 4 << 30, Seed: seed})
+		defer c.Close()
+		local, donor := c.Node(0), c.Node(1)
 		// Donor runs CC on its own memory.
 		g := workloads.GenUniform(sim.NewRNG(5), 20000, 8)
 		g.Place(workloads.NewArena(0, 8<<20), workloads.NewArena(8<<20, 32<<20),
 			workloads.NewArena(48<<20, 8<<20))
 		var ccTime sim.Dur
-		ccDone := rig.Donor.Run("cc", func(pr *sim.Proc) {
+		ccDone := donor.Run("cc", func(pr *sim.Proc) {
 			t0 := pr.Now()
-			workloads.ConnectedComponents(pr, rig.Donor.Mem, g)
+			workloads.ConnectedComponents(pr, donor.Mem, g)
 			ccTime = pr.Now().Sub(t0)
 		})
 		if withTraffic {
 			// The recipient hammers borrowed donor memory meanwhile.
-			rig.Local.Run("hammer", func(pr *sim.Proc) {
-				lease, err := core.AttachMemoryDirect(pr, rig.Local, rig.Donor, 64<<20)
+			local.Run("hammer", func(pr *sim.Proc) {
+				lease, err := c.Acquire(pr, core.NewRequest(core.DirectMemory, local, 64<<20,
+					core.WithDonor(donor)))
 				if err != nil {
 					panic(err)
 				}
+				win, _ := lease.Window()
 				rng := sim.NewRNG(6)
 				for !ccDone.Done() {
-					rig.Local.Mem.Read(pr, lease.WindowBase+uint64(rng.Intn(64<<20))&^63, 64)
+					local.Mem.Read(pr, win+uint64(rng.Intn(64<<20))&^63, 64)
 				}
 			})
 		}
-		rig.Eng.Run()
+		c.Run()
 		return ccTime
 	}
 	return run(withTraffic)

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Lease-lifecycle events. Every change to an allocation's existence or
+// backing — a grant, a voluntary free, a recovery revocation, a donor
+// failover — is announced to registered observers, so metrics and
+// scenario code consume one event stream instead of polling the RAT.
+// The core layer (core.Plane) subscribes here to surface recovery
+// events on its unified observer; grants and frees it also emits
+// itself, where the requested resource kind (memory vs swap) is still
+// known.
+
+// LeaseEventType classifies a lease-lifecycle transition.
+type LeaseEventType int
+
+const (
+	// LeaseGranted fires when a RAT row is created (a grant completed,
+	// including delegated cross-rack backings).
+	LeaseGranted LeaseEventType = iota
+	// LeaseReleased fires when a RAT row is torn down voluntarily (the
+	// recipient freed it, or the root tore down a delegated backing).
+	LeaseReleased
+	// LeaseRevoked fires when recovery destroys a lease involuntarily:
+	// the recipient died, or the donor died with no surviving candidate
+	// to back the window.
+	LeaseRevoked
+	// LeaseFailedOver fires when recovery re-placed a lease onto a new
+	// donor (rack-local failover, or a root-MN re-delegation).
+	LeaseFailedOver
+)
+
+// String names the event type.
+func (t LeaseEventType) String() string {
+	switch t {
+	case LeaseGranted:
+		return "granted"
+	case LeaseReleased:
+		return "released"
+	case LeaseRevoked:
+		return "revoked"
+	case LeaseFailedOver:
+		return "failed-over"
+	default:
+		return "unknown"
+	}
+}
+
+// LeaseEvent is one lease-lifecycle transition. Alloc is a copy of the
+// allocation row as of the event (for failed-over events it carries the
+// NEW donor; OldDonor names the one being replaced). Root-MN events
+// synthesize Alloc from the delegation row, so ID is the delegation id
+// there.
+type LeaseEvent struct {
+	Type     LeaseEventType
+	At       sim.Time
+	Alloc    Allocation
+	OldDonor fabric.NodeID
+}
+
+// LeaseObserver consumes lease-lifecycle events. Observers run
+// synchronously on the monitor's handler path and must not block; they
+// cost no virtual time.
+type LeaseObserver func(LeaseEvent)
+
+// leaseObservers is the shared registration list (Monitor and Root).
+type leaseObservers struct {
+	fns []LeaseObserver
+}
+
+// observe registers fn and returns its cancel.
+func (o *leaseObservers) observe(fn LeaseObserver) (cancel func()) {
+	o.fns = append(o.fns, fn)
+	i := len(o.fns) - 1
+	return func() { o.fns[i] = nil }
+}
+
+// emit delivers ev to every live observer in registration order.
+func (o *leaseObservers) emit(ev LeaseEvent) {
+	for _, fn := range o.fns {
+		if fn != nil {
+			fn(ev)
+		}
+	}
+}
+
+// Observe registers a lease-lifecycle observer with this Monitor (a
+// flat cluster's MN or one rack's sub-MN) and returns a cancel.
+func (m *Monitor) Observe(fn LeaseObserver) (cancel func()) { return m.observers.observe(fn) }
+
+// emitLease announces one lifecycle transition for an allocation row.
+func (m *Monitor) emitLease(t LeaseEventType, a *Allocation, oldDonor fabric.NodeID) {
+	if len(m.observers.fns) == 0 {
+		return
+	}
+	m.observers.emit(LeaseEvent{Type: t, At: m.EP.Eng.Now(), Alloc: *a, OldDonor: oldDonor})
+}
+
+// Observe registers a lease-lifecycle observer with the root MN (it
+// announces cross-rack re-delegations and reclaims) and returns a
+// cancel.
+func (rt *Root) Observe(fn LeaseObserver) (cancel func()) { return rt.observers.observe(fn) }
+
+// emitDelegation announces one lifecycle transition for a delegation
+// row, synthesized into the Allocation shape observers already consume.
+func (rt *Root) emitDelegation(t LeaseEventType, d *Delegation, oldDonor fabric.NodeID) {
+	if len(rt.observers.fns) == 0 {
+		return
+	}
+	rt.observers.emit(LeaseEvent{
+		Type: t,
+		At:   rt.EP.Eng.Now(),
+		Alloc: Allocation{
+			ID: d.ID, Kind: "memory", Donor: d.Donor, Recipient: d.Recipient,
+			RecipientBase: d.RecipientBase, Size: d.Size, At: d.At, Deleg: d.ID,
+		},
+		OldDonor: oldDonor,
+	})
+}

@@ -122,6 +122,9 @@ type Monitor struct {
 	// Stats counts runtime activity, including allocation retries caused
 	// by stale RRT records (§5.3's handshake-and-retry).
 	Stats sim.Scoreboard
+
+	// observers receive lease-lifecycle events (see events.go).
+	observers leaseObservers
 }
 
 // New starts a Monitor on the given endpoint.
@@ -349,6 +352,7 @@ func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBa
 		}
 		m.rat[id] = a
 		cand.IdleBytes -= size
+		m.emitLease(LeaseGranted, a, a.Donor)
 		return a, true
 	}
 	return nil, false
@@ -381,6 +385,7 @@ func (m *Monitor) onFreeMem(p *sim.Proc, from fabric.NodeID, req any) (any, int)
 	delete(m.rat, f.AllocID)
 	m.returnRegion(p, a)
 	m.Stats.Add("free.memory", 1)
+	m.emitLease(LeaseReleased, a, a.Donor)
 	return &ack{}, 8
 }
 
@@ -420,11 +425,13 @@ func (m *Monitor) onAllocDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int
 		cand.Devices[r.Kind]--
 		id := m.nextAllocID
 		m.nextAllocID++
-		m.rat[id] = &Allocation{
+		a := &Allocation{
 			ID: id, Kind: r.Kind.String(), Dev: r.Kind, Donor: cand.Node,
 			Recipient: from, Size: 1, At: m.EP.Eng.Now(),
 		}
+		m.rat[id] = a
 		m.Stats.Add("alloc."+r.Kind.String(), 1)
+		m.emitLease(LeaseGranted, a, a.Donor)
 		return &AllocDevResp{OK: true, AllocID: id, Donor: cand.Node}, 32
 	}
 	m.Stats.Add("alloc.failures", 1)
@@ -443,5 +450,6 @@ func (m *Monitor) onFreeDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int)
 		r.Devices[a.Dev]++
 	}
 	m.Stats.Add("free.device", 1)
+	m.emitLease(LeaseReleased, a, a.Donor)
 	return &ack{}, 8
 }

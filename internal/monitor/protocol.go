@@ -162,8 +162,25 @@ func RequestMemory(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, 
 // RequestMemoryScoped is RequestMemory with an explicit placement scope
 // (rack-local, remote-rack, or anywhere) for hierarchical planes.
 func RequestMemoryScoped(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, scope AllocScope) *AllocMemResp {
-	return ep.Call(p, mn, kindAllocMem, 64,
-		&AllocMemReq{Size: size, WindowBase: windowBase, Scope: scope}).(*AllocMemResp)
+	resp, _ := RequestMemoryOpts(p, ep, mn, size, windowBase, scope, 0)
+	return resp
+}
+
+// RequestMemoryOpts is RequestMemoryScoped with a bounded wait: when
+// timeout > 0 the request aborts after timeout of virtual time and
+// reports ok=false (an unreachable or wedged MN must not park the
+// requester forever). timeout <= 0 waits indefinitely, exactly like
+// RequestMemory.
+func RequestMemoryOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, scope AllocScope, timeout sim.Dur) (*AllocMemResp, bool) {
+	req := &AllocMemReq{Size: size, WindowBase: windowBase, Scope: scope}
+	if timeout > 0 {
+		raw, ok := ep.CallTimeout(p, mn, kindAllocMem, 64, req, timeout)
+		if !ok {
+			return nil, false
+		}
+		return raw.(*AllocMemResp), true
+	}
+	return ep.Call(p, mn, kindAllocMem, 64, req).(*AllocMemResp), true
 }
 
 // FreeMemory releases a memory allocation by id.
@@ -173,7 +190,22 @@ func FreeMemory(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, allocID i
 
 // RequestDevice asks the MN for a remote device unit.
 func RequestDevice(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind) *AllocDevResp {
-	return ep.Call(p, mn, kindAllocDev, 16, &AllocDevReq{Kind: kind}).(*AllocDevResp)
+	resp, _ := RequestDeviceOpts(p, ep, mn, kind, 0)
+	return resp
+}
+
+// RequestDeviceOpts is RequestDevice with a bounded wait (same contract
+// as RequestMemoryOpts: timeout <= 0 waits indefinitely).
+func RequestDeviceOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind, timeout sim.Dur) (*AllocDevResp, bool) {
+	req := &AllocDevReq{Kind: kind}
+	if timeout > 0 {
+		raw, ok := ep.CallTimeout(p, mn, kindAllocDev, 16, req, timeout)
+		if !ok {
+			return nil, false
+		}
+		return raw.(*AllocDevResp), true
+	}
+	return ep.Call(p, mn, kindAllocDev, 16, req).(*AllocDevResp), true
 }
 
 // FreeDevice releases a device allocation by id.

@@ -212,6 +212,7 @@ func (m *Monitor) recoverNode(p *sim.Proc, id fabric.NodeID, rebooted bool) {
 			// recipient's session is not re-established.
 			delete(m.rat, a.ID)
 			m.Stats.Add("recover.devices_dropped", 1)
+			m.emitLease(LeaseRevoked, a, a.Donor)
 		}
 	}
 }
@@ -241,6 +242,7 @@ func (m *Monitor) queueOrphan(donor fabric.NodeID, inc int64, ret *hotReturnReq)
 // healthy, so its region returns to service.
 func (m *Monitor) reclaimLease(p *sim.Proc, a *Allocation, _ bool) {
 	delete(m.rat, a.ID)
+	m.emitLease(LeaseRevoked, a, a.Donor)
 	if a.Kind != "memory" {
 		if r, ok := m.rrt[a.Donor]; ok && r.Devices != nil {
 			r.Devices[a.Dev]++
@@ -346,6 +348,7 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 		}
 		m.Stats.Add("recover.replaced", 1)
 		m.Stats.Add("recover.ns", int64(m.EP.Eng.Now().Sub(t0)))
+		m.emitLease(LeaseFailedOver, a, oldDonor)
 		m.notifyDelegateMoved(p, a.Deleg, a.Donor, false)
 		return
 	}
@@ -376,6 +379,7 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 		m.Stats.Add("recover.revoke_lost", 1)
 	}
 	m.Stats.Add("recover.revoked", 1)
+	m.emitLease(LeaseRevoked, a, oldDonor)
 	m.notifyDelegateMoved(p, a.Deleg, a.Donor, true)
 }
 

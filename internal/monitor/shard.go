@@ -112,6 +112,10 @@ type Root struct {
 	// Stats counts root activity (borrows, delegations, re-delegations,
 	// reclaims).
 	Stats sim.Scoreboard
+
+	// observers receive lease-lifecycle events for cross-rack
+	// re-delegations and reclaims (see events.go).
+	observers leaseObservers
 }
 
 // NewRoot starts a root MN on the given endpoint (typically a spine
@@ -388,6 +392,7 @@ func (rt *Root) onNodeDown(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		delete(rt.pendingRev, id)
 		rt.freeBacking(p, d)
 		rt.Stats.Add("root.reclaimed", 1)
+		rt.emitDelegation(LeaseRevoked, d, d.Donor)
 	}
 	return &ack{}, 8
 }
@@ -554,6 +559,7 @@ func (rt *Root) redelegateRack(p *sim.Proc, dead int) {
 			}
 			rt.deliverRelocate(p, d, rel)
 			rt.Stats.Add("root.redelegated", 1)
+			rt.emitDelegation(LeaseFailedOver, d, oldDonor)
 			moved = true
 			break
 		}
@@ -568,6 +574,7 @@ func (rt *Root) redelegateRack(p *sim.Proc, dead int) {
 				rt.Stats.Add("root.revoke_lost", 1)
 			}
 			rt.Stats.Add("root.revoked", 1)
+			rt.emitDelegation(LeaseRevoked, d, oldDonor)
 		}
 	}
 }
@@ -781,6 +788,7 @@ func (m *Monitor) onDelegateFree(p *sim.Proc, _ fabric.NodeID, req any) (any, in
 	delete(m.rat, f.AllocID)
 	m.returnRegion(p, a)
 	m.Stats.Add("free.delegate_backed", 1)
+	m.emitLease(LeaseReleased, a, a.Donor)
 	return &ack{}, 8
 }
 
@@ -798,6 +806,7 @@ func (m *Monitor) onDelegateCancel(p *sim.Proc, _ fabric.NodeID, req any) (any, 
 		delete(m.rat, id)
 		m.returnRegion(p, a)
 		m.Stats.Add("free.delegate_cancelled", 1)
+		m.emitLease(LeaseReleased, a, a.Donor)
 	}
 	return &ack{}, 8
 }

@@ -212,14 +212,12 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	res := &ChurnResult{}
 	var runErr error
 	done := app.Run("serving-churn", func(pr *sim.Proc) {
-		var ls []*core.MemoryLease
-		for i := 0; i < leases; i++ {
-			l, err := cl.BorrowMemory(pr, app, churnLeaseBytes)
-			if err != nil {
-				runErr = fmt.Errorf("serving: churn lease %d: %w", i, err)
-				return
-			}
-			ls = append(ls, l)
+		ls, err := borrowWindows(pr, cl, leases, func(int) core.Request {
+			return core.NewRequest(core.Memory, app, churnLeaseBytes)
+		})
+		if err != nil {
+			runErr = fmt.Errorf("serving: churn leases: %w", err)
+			return
 		}
 
 		// Closed-loop calibration under healthy conditions: the mean

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/node"
 	"repro/internal/sim"
 )
 
@@ -105,18 +106,16 @@ func runScale(cfg Config) (*Result, error) {
 		// Lease the working set: the cross-rack share is delegated by the
 		// root MN (most-idle rack election spreads consecutive windows
 		// over distinct racks), the rest is pinned rack-local.
-		windows := make([]*core.MemoryLease, scaleWindows)
-		for w := range windows {
+		windows, err := borrowWindows(pr, cl, scaleWindows, func(w int) core.Request {
 			scope := monitor.ScopeLocalRack
 			if w < cross {
 				scope = monitor.ScopeRemoteRack
 			}
-			lease, err := cl.BorrowMemoryScoped(pr, app, scaleWindowBytes, scope)
-			if err != nil {
-				runErr = fmt.Errorf("serving: window %d (scope %d): %w", w, scope, err)
-				return
-			}
-			windows[w] = lease
+			return core.NewRequest(core.Memory, app, scaleWindowBytes, core.WithScope(scope))
+		})
+		if err != nil {
+			runErr = fmt.Errorf("serving: working-set windows: %w", err)
+			return
 		}
 
 		// Background tenants on every rack (nodes past the app's index,
@@ -127,33 +126,30 @@ func runScale(cfg Config) (*Result, error) {
 		tenantsPerRack := cfg.RackNodes / scaleTenantDiv
 		crossTenants := int(cfg.CrossFrac*float64(tenantsPerRack) + 0.5)
 		tenantRng := sim.NewRNG(scaleTenantSeed)
-		type tenant struct {
-			n     int
-			lease *core.MemoryLease
-		}
-		var tenants []tenant
+		tenantNodes := make([]*node.Node, 0, cfg.Racks*tenantsPerRack)
 		for r := 0; r < cfg.Racks; r++ {
 			for i := 0; i < tenantsPerRack; i++ {
-				tn := cl.Node(int(cl.Hier.RackNodes(r)[3+i]))
-				scope := monitor.ScopeLocalRack
-				if i < crossTenants {
-					scope = monitor.ScopeRemoteRack
-				}
-				lease, err := cl.BorrowMemoryScoped(pr, tn, scaleWindowBytes, scope)
-				if err != nil {
-					runErr = fmt.Errorf("serving: rack %d tenant %d (scope %d): %w", r, i, scope, err)
-					return
-				}
-				tenants = append(tenants, tenant{n: int(tn.ID), lease: lease})
+				tenantNodes = append(tenantNodes, cl.Node(int(cl.Hier.RackNodes(r)[3+i])))
 			}
 		}
-		for _, tt := range tenants {
-			tt, trng := tt, tenantRng.Fork()
-			tn := cl.Node(tt.n)
+		tenantLeases, err := borrowWindows(pr, cl, len(tenantNodes), func(k int) core.Request {
+			scope := monitor.ScopeLocalRack
+			if k%tenantsPerRack < crossTenants {
+				scope = monitor.ScopeRemoteRack
+			}
+			return core.NewRequest(core.Memory, tenantNodes[k], scaleWindowBytes, core.WithScope(scope))
+		})
+		if err != nil {
+			runErr = fmt.Errorf("serving: tenant windows: %w", err)
+			return
+		}
+		for k, lease := range tenantLeases {
+			lease, trng := lease, tenantRng.Fork()
+			tn := tenantNodes[k]
 			tn.Run("tenant", func(tp *sim.Proc) {
 				for !stop {
-					off := trng.Uint64n(tt.lease.Size-scaleTenantBulk) &^ 63
-					tn.EP.RDMA.Read(tp, tt.lease.Donor, tt.lease.DonorBase+off, scaleTenantBulk)
+					off := trng.Uint64n(lease.Size-scaleTenantBulk) &^ 63
+					tn.EP.RDMA.Read(tp, lease.Donor(), lease.DonorBase+off, scaleTenantBulk)
 					tp.Sleep(sim.Dur(trng.Intn(scaleTenantThinkNS)))
 				}
 			})

@@ -313,14 +313,12 @@ func runTier(cfg Config) (*Result, error) {
 		// measured (and calibration) phase is what the scenario studies,
 		// and an idle warm phase keeps the event count tractable.
 		tenantRng := sim.NewRNG(tierTenantSeed)
-		var tenantLeases []*core.MemoryLease
-		for t := 0; t < cfg.Tenants; t++ {
-			lease, err := cl.BorrowMemory(pr, app, tenantLeaseBytes)
-			if err != nil {
-				runErr = fmt.Errorf("serving: tenant %d lease: %w", t, err)
-				return
-			}
-			tenantLeases = append(tenantLeases, lease)
+		tenantLeases, err := borrowWindows(pr, cl, cfg.Tenants, func(int) core.Request {
+			return core.NewRequest(core.Memory, app, tenantLeaseBytes)
+		})
+		if err != nil {
+			runErr = fmt.Errorf("serving: tenant leases: %w", err)
+			return
 		}
 		startTenants := func() {
 			for t, lease := range tenantLeases {
@@ -339,13 +337,14 @@ func runTier(cfg Config) (*Result, error) {
 		// remote window, placed by the same policy.
 		cache := workloads.NewRedisCache(app.Mem, tierValueBytes)
 		cache.AddArena(workloads.NewArena(tierLocalBase, tierLocalBytes))
-		lease, err := cl.BorrowMemory(pr, app, tierCacheLease)
+		lease, err := cl.Acquire(pr, core.NewRequest(core.Memory, app, tierCacheLease,
+			core.WithRetry(borrowRetry)))
 		if err != nil {
 			runErr = fmt.Errorf("serving: cache lease: %w", err)
 			stop = true
 			return
 		}
-		cache.AddArena(workloads.NewArena(lease.WindowBase, lease.Size))
+		cache.AddArena(workloads.NewArena(lease.Window()))
 		db := &workloads.TierDB{
 			Redis:          cache,
 			MySQL:          &workloads.MySQLModel{QueryTime: tierMySQL},
