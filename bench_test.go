@@ -142,6 +142,31 @@ func BenchmarkServingTier(b *testing.B) {
 	}
 }
 
+// BenchmarkServingChurn regenerates the availability-under-churn smoke
+// cell: the donor crash/restart scenario the bench-regression gate
+// pins. Reported metrics: goodput under faults and recovery tail.
+func BenchmarkServingChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ChurnSmoke()
+		c := &r.Cells[0]
+		b.ReportMetric(c.GoodputRPS/1e3, "goodput-krps")
+		b.ReportMetric(c.UnavailMS, "unavail-ms")
+		b.ReportMetric(float64(c.P99)/1e3, "p99-us")
+	}
+}
+
+// BenchmarkServingScale regenerates the rack-scale serving smoke cell
+// (multi-rack spine fabric). Reported metrics: the cell's end-to-end
+// tail and achieved throughput.
+func BenchmarkServingScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ScaleSmoke()
+		c := &r.Cells[0]
+		b.ReportMetric(float64(c.P99)/1e3, "p99-us")
+		b.ReportMetric(c.AchievedRPS/1e3, "krps")
+	}
+}
+
 // BenchmarkCost regenerates the §7.3 hardware cost table. Reported
 // metric: Venice's share of an 8-core Haswell-EP die (paper: ~2%).
 func BenchmarkCost(b *testing.B) {

@@ -1,9 +1,11 @@
 // Command venice-bench regenerates the paper's tables and figures from
 // the simulator through the trial harness, plus the beyond-paper
 // serving sweeps (open-loop load, churn, and the rack-scale
-// serving-scale sweep over multi-rack spine fabrics). With no arguments
-// it runs every registered experiment in paper order; otherwise pass
-// experiment ids positionally or via -run (see -list).
+// serving-scale sweep over multi-rack spine fabrics) and the
+// engine-smoke cell that pins the event core's exact firing order.
+// With no arguments it runs every registered experiment in paper
+// order; otherwise pass experiment ids positionally or via -run (see
+// -list).
 //
 // Usage:
 //

@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+func TestEngineCancelStopsCallback(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.ScheduleCancelable(10, func() { fired = true })
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Cancel, want 0", e.Pending())
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Now() != 0 || e.Fired() != 0 {
+		t.Fatalf("canceled event advanced the engine: now=%v fired=%d", e.Now(), e.Fired())
+	}
+}
+
+func TestEngineCancelIsIdempotentAndDeadAfterFire(t *testing.T) {
+	e := New()
+	h := e.ScheduleCancelable(5, func() {})
+	if !e.Cancel(h) || e.Cancel(h) {
+		t.Fatal("Cancel must succeed exactly once")
+	}
+	h2 := e.ScheduleCancelable(5, func() {})
+	e.Run()
+	if e.Cancel(h2) {
+		t.Fatal("Cancel succeeded after the event fired")
+	}
+	if e.Cancel(Handle(0)) {
+		t.Fatal("zero Handle canceled something")
+	}
+}
+
+func TestEngineCancelPreservesOrderAndClock(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 1) })
+	h := e.ScheduleCancelable(20, func() { got = append(got, 99) })
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Cancel(h)
+	// A canceled tombstone at t=20 sits ahead of the live t=20 event;
+	// RunUntil(20) must fire the live ones and stop exactly at 20.
+	e.RunUntil(20)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got = %v, want [1 2]", got)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	e.Run()
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got = %v, want [1 2 3]", got)
+	}
+}
+
+// TestEngineCancelThenEarlierSchedule pins the empty-wheel re-anchor:
+// after trailing tombstones drag the wheel clock past the engine clock,
+// a new earlier event must still fire first.
+func TestEngineCancelThenEarlierSchedule(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	h := e.ScheduleCancelable(1<<33, func() {}) // far future, via spill
+	e.Cancel(h)
+	e.Run() // drains the live event and the tombstone
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 15 {
+		t.Fatalf("post-cancel schedule broken: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestEngineCancelManyInterleaved(t *testing.T) {
+	e := New()
+	rng := NewRNG(99)
+	var fired, canceled int
+	var handles []Handle
+	for i := 0; i < 2000; i++ {
+		d := queueDelay(rng)
+		if rng.Bool(0.5) {
+			handles = append(handles, e.ScheduleCancelable(d, func() { fired++ }))
+		} else {
+			e.Schedule(d, func() { fired++ })
+		}
+	}
+	for i, h := range handles {
+		if i%2 == 0 && e.Cancel(h) {
+			canceled++
+		}
+	}
+	want := 2000 - canceled
+	if e.Pending() != want {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), want)
+	}
+	e.Run()
+	if fired != want {
+		t.Fatalf("fired = %d, want %d", fired, want)
+	}
+	if uint64(fired) != e.Fired() {
+		t.Fatalf("Fired() = %d, want %d", e.Fired(), fired)
+	}
+}

@@ -1,45 +1,24 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is a callback scheduled at a virtual instant. Events with equal
-// timestamps fire in scheduling order (FIFO), which keeps runs
-// deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// Handle identifies a cancelable scheduled event. The zero Handle is
+// never issued, so it can mark "no timer pending".
+type Handle uint64
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct one with New.
+//
+// Events live in a hierarchical timing wheel (wheel.go) and are pooled
+// (pool.go), so steady-state scheduling — one Schedule plus one
+// dispatched event — performs no allocation.
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	q       queue
+	pool    eventPool
+	cancels map[Handle]*event // live cancelable events, by Handle
+	pending int               // queued events not yet fired or canceled
 	yield   chan struct{}
 	stopped chan struct{}
 	closed  bool
@@ -51,6 +30,7 @@ type Engine struct {
 // New returns a fresh engine with virtual time zero and an empty queue.
 func New() *Engine {
 	return &Engine{
+		q:       newWheel(),
 		yield:   make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
@@ -59,8 +39,9 @@ func New() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending reports the number of events waiting in the queue. Canceled
+// events are not counted: they are dead the moment Cancel returns.
+func (e *Engine) Pending() int { return e.pending }
 
 // Fired reports the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -70,35 +51,98 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // simulated program.
 func (e *Engine) LiveProcs() int { return e.live }
 
-// At schedules fn to run at the absolute virtual instant t. Scheduling in
-// the past panics: virtual time never rewinds.
-func (e *Engine) At(t Time, fn func()) {
+// schedule enqueues a pooled event for fn at t and returns it.
+func (e *Engine) schedule(t Time, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+	ev := e.pool.get()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
+	e.pending++
+	e.q.push(ev, e.now)
+	return ev
 }
+
+// At schedules fn to run at the absolute virtual instant t. Scheduling in
+// the past panics: virtual time never rewinds.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn) }
 
 // Schedule schedules fn to run d after the current instant.
 func (e *Engine) Schedule(d Dur, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e.At(e.now.Add(d), fn)
+	e.schedule(e.now.Add(d), fn)
+}
+
+// AtCancelable is At returning a Handle that Cancel accepts. Use it for
+// timers that usually lose their race — RPC timeouts, watchdogs — so
+// the queue is not left churning through dead callbacks.
+func (e *Engine) AtCancelable(t Time, fn func()) Handle {
+	ev := e.schedule(t, fn)
+	ev.cancelable = true
+	h := Handle(ev.seq + 1)
+	if e.cancels == nil {
+		e.cancels = make(map[Handle]*event)
+	}
+	e.cancels[h] = ev
+	return h
+}
+
+// ScheduleCancelable is Schedule returning a Handle that Cancel accepts.
+func (e *Engine) ScheduleCancelable(d Dur, fn func()) Handle {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.AtCancelable(e.now.Add(d), fn)
+}
+
+// Cancel revokes a cancelable event that has not fired yet, reporting
+// whether it did anything. The event is tombstoned in place — the wheel
+// discards it when its slot drains — so Cancel is O(1) and never
+// disturbs the firing order of live events. Canceling an event that
+// already fired, was already canceled, or a zero Handle returns false.
+func (e *Engine) Cancel(h Handle) bool {
+	ev, ok := e.cancels[h]
+	if !ok {
+		return false
+	}
+	delete(e.cancels, h)
+	ev.canceled = true
+	ev.fn = nil
+	e.pending--
+	return true
+}
+
+// step fires the earliest live event, discarding canceled tombstones in
+// passing, and reports whether one ran. With bounded true only events
+// with at <= bound fire.
+func (e *Engine) step(bound Time, bounded bool) bool {
+	for {
+		ev := e.q.pop(bound, bounded)
+		if ev == nil {
+			return false
+		}
+		if ev.canceled {
+			e.pool.put(ev)
+			continue
+		}
+		if ev.cancelable {
+			delete(e.cancels, Handle(ev.seq+1))
+		}
+		e.now = ev.at
+		e.pending--
+		e.fired++
+		fn := ev.fn
+		e.pool.put(ev) // recycle before dispatch: fn may schedule into this slot
+		fn()
+		return true
+	}
 }
 
 // Step executes the earliest pending event and reports whether one ran.
-func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
-		return false
-	}
-	ev := heap.Pop(&e.pq).(*event)
-	e.now = ev.at
-	e.fired++
-	ev.fn()
-	return true
-}
+func (e *Engine) Step() bool { return e.step(0, false) }
 
 // Run executes events until the queue drains. If simulated processes are
 // still blocked when the queue empties, they stay parked (see LiveProcs);
@@ -111,8 +155,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t and then sets the clock
 // to t.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.pq) > 0 && e.pq[0].at <= t {
-		e.Step()
+	for e.step(t, true) {
 	}
 	if t > e.now {
 		e.now = t

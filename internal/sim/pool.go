@@ -1,0 +1,46 @@
+package sim
+
+// event is a callback scheduled at a virtual instant. Events with equal
+// timestamps fire in scheduling order (FIFO: ascending seq), which keeps
+// runs deterministic.
+//
+// Events are pooled: the engine recycles fired and canceled events
+// through an eventPool free list, so steady-state scheduling allocates
+// nothing and the scheduler's working set stays cache-resident.
+type event struct {
+	at         Time
+	seq        uint64
+	fn         func()
+	canceled   bool // tombstoned by Engine.Cancel; discarded at dispatch
+	cancelable bool // registered in the engine's cancel table
+}
+
+// eventPool is a LIFO free list of event structs. The engine returns
+// every popped event here after dispatch, so after warm-up the pool is
+// the only source of event storage: get allocates only while the
+// population of in-flight events is still growing.
+type eventPool struct {
+	free []*event
+}
+
+// get returns a recycled event, or a fresh one when the list is empty.
+// Timing fields are overwritten by the scheduler; flag fields are
+// cleared by put.
+func (p *eventPool) get() *event {
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// put recycles ev, dropping its callback so the pool never pins a dead
+// closure (and whatever simulation state it captured) in memory.
+func (p *eventPool) put(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	ev.cancelable = false
+	p.free = append(p.free, ev)
+}

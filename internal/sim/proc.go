@@ -8,10 +8,11 @@ package sim
 // that at most one goroutine in the whole simulation executes at a time,
 // so process code may freely touch shared simulation state without locks.
 type Proc struct {
-	Eng  *Engine
-	name string
-	wake chan struct{}
-	dead bool
+	Eng    *Engine
+	name   string
+	wake   chan struct{}
+	wakeFn func() // cached resume thunk: one closure per proc, not per park
+	dead   bool
 }
 
 // procStopped is the panic payload used to unwind a process killed by
@@ -31,6 +32,7 @@ func (p *Proc) Now() Time { return p.Eng.Now() }
 func (e *Engine) Go(name string, fn func(p *Proc)) *Completion {
 	done := NewCompletion(e)
 	p := &Proc{Eng: e, name: name, wake: make(chan struct{})}
+	p.wakeFn = func() { e.resume(p) }
 	e.live++
 	e.Schedule(0, func() {
 		go func() {
@@ -75,10 +77,12 @@ func (p *Proc) park() {
 	e.parked--
 }
 
-// unparkAfter schedules this process to resume d from now.
+// unparkAfter schedules this process to resume d from now. The cached
+// wakeFn keeps every park/unpark cycle (Sleep, Await, queue and
+// semaphore waits) allocation-free.
 func (p *Proc) unparkAfter(d Dur) {
 	e := p.Eng
-	e.At(e.now.Add(d), func() { e.resume(p) })
+	e.At(e.now.Add(d), p.wakeFn)
 }
 
 // finish marks the process done and returns the baton for the last time.

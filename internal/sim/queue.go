@@ -1,0 +1,30 @@
+package sim
+
+// queue is the engine's event-queue contract. Invariants the engine
+// maintains for every implementation:
+//
+//   - push is only called with ev.at >= the timestamp of the most
+//     recently popped event (virtual time never rewinds), and
+//   - seq values are assigned in push order, so (at, seq) is a strict
+//     total order and equal-timestamp events pop FIFO.
+//
+// push receives the engine clock alongside the event: an empty wheel
+// re-anchors its internal clock there, which is what makes the pair of
+// invariants above hold across drain/refill cycles.
+//
+// pop removes and returns the minimum-(at, seq) event, or nil when the
+// queue is empty. With bounded true, pop removes the minimum only when
+// its timestamp is <= bound and otherwise returns nil leaving the queue
+// intact — that is what lets RunUntil stop exactly at its boundary
+// without peeking-then-popping twice.
+//
+// The production implementation is the hierarchical timing wheel in
+// wheel.go. The engine's original container/heap queue survives as a
+// test-only reference implementation (queue_ref_test.go) that the wheel
+// is property-tested against: both must produce the identical
+// (time, seq) firing order for any input.
+type queue interface {
+	push(ev *event, now Time)
+	pop(bound Time, bounded bool) *event
+	len() int
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// The hierarchical timing wheel: the engine's production event queue.
+//
+// Virtual time is an int64 nanosecond count, split into 8-bit digits.
+// Level l of the wheel has 256 slots of 256^l ns each, so the four
+// levels together cover the 2^32 ns (~4.29 s) of virtual time that
+// shares the current top-level window with the wheel's clock; events
+// scheduled beyond that horizon wait in a (time, seq)-sorted spill
+// list and are pulled into the wheel when the clock reaches their
+// window.
+//
+// A level-0 slot spans exactly 1 ns, so within one rotation every event
+// in it carries the same timestamp; buckets are append-only, pushes
+// happen in ascending seq order, and cascades preserve relative order —
+// which together make bucket order the (at, seq) FIFO order the engine
+// requires, with no comparisons on the hot path. Insertion is O(1)
+// (pick the level whose window contains the timestamp, append);
+// extraction is O(1) amortized (a 4-word occupancy bitmap per level
+// finds the next non-empty slot; events in higher levels cascade down
+// one level at a time as the clock reaches their window).
+//
+// The wheel's clock (vnow) trails the engine's: it advances to each
+// popped event's timestamp, or to a slot boundary during a cascade —
+// never past the earliest pending event, so a later push can never be
+// "in the past" relative to the wheel. When the wheel empties, the
+// clock simply restarts at the next pushed event's timestamp.
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256 slots per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4               // horizon: 256^4 ns ≈ 4.29 s
+	wheelWords  = wheelSlots / 64 // occupancy bitmap words per level
+)
+
+// bucket is one wheel slot: an append-ordered event list. head marks the
+// already-popped prefix at level 0, so draining a slot is O(1) per event
+// with the backing array (and its capacity) reused across rotations.
+type bucket struct {
+	evs  []*event
+	head int
+}
+
+type wheel struct {
+	vnow  Time // trails the engine clock; see the invariant above
+	n     int  // events across all levels plus the spill list
+	level [wheelLevels][wheelSlots]bucket
+	occ   [wheelLevels][wheelWords]uint64
+	spill []*event // beyond-horizon events, sorted by (at, seq)
+}
+
+func newWheel() *wheel { return &wheel{} }
+
+func (w *wheel) len() int { return w.n }
+
+// digit extracts the level-l slot index of t.
+func digit(l int, t Time) int {
+	return int(uint64(t)>>uint(l*wheelBits)) & wheelMask
+}
+
+// push inserts ev. The engine guarantees ev.at >= now >= the last
+// popped timestamp (see the queue contract).
+func (w *wheel) push(ev *event, now Time) {
+	if w.n == 0 {
+		// Empty wheel: every window is stale, so re-anchor the clock at
+		// the engine's. Anchoring at now (not ev.at) keeps later pushes
+		// that land earlier than this event — but never earlier than
+		// now — inside valid windows, and it repairs the clock after
+		// trailing canceled events dragged it past now.
+		w.vnow = now
+	}
+	w.n++
+	w.place(ev)
+}
+
+// place appends ev to the lowest wheel level whose current window
+// contains ev.at, or to the spill list when ev.at is beyond the
+// horizon. Shared by push, cascade, and the spill drain.
+func (w *wheel) place(ev *event) {
+	at, vn := uint64(ev.at), uint64(w.vnow)
+	for l := 0; l < wheelLevels; l++ {
+		if shift := uint((l + 1) * wheelBits); at>>shift == vn>>shift {
+			slot := int(at>>uint(l*wheelBits)) & wheelMask
+			b := &w.level[l][slot]
+			b.evs = append(b.evs, ev)
+			w.occ[l][slot>>6] |= 1 << uint(slot&63)
+			return
+		}
+	}
+	w.spillInsert(ev)
+}
+
+// pop removes and returns the minimum-(at, seq) event; nil when empty.
+// With bounded true it pops only an event with at <= bound: the wheel
+// may still cascade internally (cascades never advance the clock past
+// bound), but the queue's firing order is untouched.
+func (w *wheel) pop(bound Time, bounded bool) *event {
+	if w.n == 0 {
+		return nil
+	}
+	for {
+		// The earliest pending event is always in level 0 once the
+		// lower window is current: take the first occupied slot at or
+		// after the clock's position.
+		if slot, ok := w.scan(0, digit(0, w.vnow)); ok {
+			b := &w.level[0][slot]
+			ev := b.evs[b.head]
+			if bounded && ev.at > bound {
+				return nil
+			}
+			b.evs[b.head] = nil
+			b.head++
+			if b.head == len(b.evs) {
+				b.evs = b.evs[:0]
+				b.head = 0
+				w.occ[0][slot>>6] &^= 1 << uint(slot&63)
+			}
+			w.vnow = ev.at
+			w.n--
+			return ev
+		}
+		// Level 0 exhausted: cascade the next occupied higher-level
+		// slot down and retry.
+		if l, slot, ok := w.scanUp(); ok {
+			start := w.slotStart(l, slot)
+			if bounded && start > bound {
+				return nil
+			}
+			if start > w.vnow {
+				w.vnow = start
+			}
+			w.cascade(l, slot)
+			continue
+		}
+		// Whole wheel empty: jump to the spill list's window.
+		if bounded && w.spill[0].at > bound {
+			return nil
+		}
+		w.vnow = w.spill[0].at
+		w.drainSpill()
+	}
+}
+
+// scan returns the first occupied slot >= from at level l.
+func (w *wheel) scan(l, from int) (int, bool) {
+	word := from >> 6
+	bs := w.occ[l][word] &^ (1<<uint(from&63) - 1)
+	for {
+		if bs != 0 {
+			return word<<6 + bits.TrailingZeros64(bs), true
+		}
+		if word++; word == wheelWords {
+			return 0, false
+		}
+		bs = w.occ[l][word]
+	}
+}
+
+// scanUp finds the lowest level above 0 with an occupied slot at or
+// after the clock's position.
+func (w *wheel) scanUp() (l, slot int, ok bool) {
+	for l = 1; l < wheelLevels; l++ {
+		if slot, ok = w.scan(l, digit(l, w.vnow)); ok {
+			return l, slot, true
+		}
+	}
+	return 0, 0, false
+}
+
+// slotStart reports the first instant covered by the given slot of
+// level l in the level's current rotation.
+func (w *wheel) slotStart(l, slot int) Time {
+	span := uint((l + 1) * wheelBits)
+	base := uint64(w.vnow) >> span << span
+	return Time(base | uint64(slot)<<uint(l*wheelBits))
+}
+
+// cascade redistributes one higher-level slot's events into lower
+// levels. Re-placing happens strictly below l (the clock has advanced
+// into the slot's window), so reusing the bucket's backing array is
+// safe; relative order of equal-timestamp events is preserved, keeping
+// every bucket in (at, seq) FIFO order.
+func (w *wheel) cascade(l, slot int) {
+	b := &w.level[l][slot]
+	evs := b.evs[b.head:]
+	b.evs = b.evs[:0]
+	b.head = 0
+	w.occ[l][slot>>6] &^= 1 << uint(slot&63)
+	for i, ev := range evs {
+		w.place(ev)
+		evs[i] = nil
+	}
+}
+
+// spillInsert adds a beyond-horizon event, keeping spill (at, seq)
+// sorted. Far-future timers (chaos MTTF schedules, multi-second
+// deadlines) are rare relative to hot-path events, so the O(n) insert
+// is cheaper in practice than a fifth wheel level's cascades.
+func (w *wheel) spillInsert(ev *event) {
+	i := sort.Search(len(w.spill), func(i int) bool {
+		s := w.spill[i]
+		return s.at > ev.at || (s.at == ev.at && s.seq > ev.seq)
+	})
+	w.spill = append(w.spill, nil)
+	copy(w.spill[i+1:], w.spill[i:])
+	w.spill[i] = ev
+}
+
+// drainSpill moves every spill event sharing the clock's (fresh)
+// top-level window into the wheel. Called only when the wheel proper is
+// empty and the clock has jumped to the spill head, so at least the
+// head always moves. The sorted spill keeps equal-timestamp events in
+// seq order as they are placed.
+func (w *wheel) drainSpill() {
+	const topShift = uint(wheelLevels * wheelBits)
+	blk := uint64(w.vnow) >> topShift
+	i := 0
+	for i < len(w.spill) && uint64(w.spill[i].at)>>topShift == blk {
+		w.place(w.spill[i])
+		i++
+	}
+	rest := copy(w.spill, w.spill[i:])
+	for j := rest; j < len(w.spill); j++ {
+		w.spill[j] = nil
+	}
+	w.spill = w.spill[:rest]
+}

@@ -137,8 +137,9 @@ func (ep *Endpoint) CallTimeout(p *sim.Proc, dst fabric.NodeID, kind string, req
 	pc := &pendingCall{done: sim.NewCompletion(ep.Eng)}
 	ep.pending[id] = pc
 	ep.SendRaw(dst, "rpc."+kind, reqSize, &rpcReq{id: id, kind: kind, body: body})
+	var watchdog sim.Handle
 	if timeout > 0 {
-		ep.Eng.Schedule(timeout, func() {
+		watchdog = ep.Eng.ScheduleCancelable(timeout, func() {
 			if !pc.done.Done() {
 				pc.timedOut = true
 				pc.done.Complete()
@@ -146,6 +147,11 @@ func (ep *Endpoint) CallTimeout(p *sim.Proc, dst fabric.NodeID, kind string, req
 		})
 	}
 	p.Await(pc.done)
+	// When the response wins the race, revoke the watchdog instead of
+	// letting it fire later as a dead callback: every monitor heartbeat,
+	// grant, and recovery RPC otherwise leaves a tombstone event churning
+	// through the queue.
+	ep.Eng.Cancel(watchdog)
 	delete(ep.pending, id)
 	if pc.timedOut {
 		ep.Stats.Add("rpc.timeouts", 1)
