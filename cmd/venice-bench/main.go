@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/monitor"
 )
 
 var _ = experiments.Table1 // the import's side effect is spec registration
@@ -69,6 +70,9 @@ func main() {
 			spec, _ := harness.Lookup(id)
 			fmt.Printf("%-21s %s (%d trials)\n", id, spec.Title, len(spec.Trials))
 		}
+		// The sharing policies the sweeps' policy axes enumerate — the
+		// same registry the MN resolves request overrides against.
+		fmt.Printf("\nsharing policies: %s\n", strings.Join(monitor.PolicyNames(), ", "))
 		return
 	}
 

@@ -58,16 +58,18 @@ func TestDocsLinks(t *testing.T) {
 	}
 }
 
-// TestAPIFreeze is the deprecated-surface gate CI's docs job runs:
-// examples and scenario packages must compose against the unified
-// core.Plane API (Acquire / AcquireAll), never the deprecated
-// Borrow*/Attach* entry points. Those wrappers live on only in
-// internal/core/deprecated.go (and internal/core's own equivalence
-// tests); a new call site anywhere else is a migration regression.
+// TestAPIFreeze is the deprecated-surface gate CI's docs job runs: the
+// legacy Borrow*/Attach* wrappers were deleted outright (their
+// equivalence history lives in CHANGES.md), so the unified core.Plane
+// API (Acquire / AcquireAll) is the only entry point. The gate rejects
+// both a surviving call site and a reintroduced definition — deleting
+// dead code only sticks if nothing can quietly grow it back.
 func TestAPIFreeze(t *testing.T) {
 	deprecated := regexp.MustCompile(
 		`\.(BorrowMemory|BorrowMemoryScoped|BorrowSwap|AttachAccelerator|AttachNIC|AttachMemoryDirect|AttachSwapDirect)\(`)
-	for _, dir := range []string{"examples", "internal/serving", "internal/experiments"} {
+	redefined := regexp.MustCompile(
+		`^func (\([^)]*\) )?(BorrowMemory|BorrowMemoryScoped|BorrowSwap|AttachAccelerator|AttachNIC|AttachMemoryDirect|AttachSwapDirect)\(`)
+	for _, dir := range []string{"examples", "internal/core", "internal/serving", "internal/experiments"} {
 		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err
@@ -81,7 +83,10 @@ func TestAPIFreeze(t *testing.T) {
 			}
 			for i, line := range strings.Split(string(data), "\n") {
 				if m := deprecated.FindString(line); m != "" {
-					t.Errorf("%s:%d: calls deprecated entry point %q — use core.Plane's Acquire instead", path, i+1, strings.TrimSuffix(strings.TrimPrefix(m, "."), "("))
+					t.Errorf("%s:%d: calls deleted entry point %q — use core.Plane's Acquire instead", path, i+1, strings.TrimSuffix(strings.TrimPrefix(m, "."), "("))
+				}
+				if redefined.MatchString(line) {
+					t.Errorf("%s:%d: reintroduces a deleted Borrow*/Attach* wrapper: %s", path, i+1, strings.TrimSpace(line))
 				}
 			}
 			return nil

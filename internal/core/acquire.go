@@ -99,7 +99,8 @@ func (c *HierCluster) acquireOnce(p *sim.Proc, r Request) (Lease, error) {
 // recipient's rack sub-MN), and mount the granted region over CRMA.
 func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, scoped bool, hub *eventHub) (Lease, error) {
 	win := r.On.NextHotplugWindow(r.Size)
-	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, win, scope, r.timeout)
+	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, win,
+		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout})
 	if !ok {
 		return nil, fmt.Errorf("core: borrow %d bytes: %w", r.Size, ErrTimeout)
 	}
@@ -125,7 +126,8 @@ func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.Alloc
 // acquireSwap obtains donor memory through mn and wraps it in the
 // remote-swap block device.
 func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, hub *eventHub) (Lease, error) {
-	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, 0, scope, r.timeout)
+	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, 0,
+		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout})
 	if !ok {
 		return nil, fmt.Errorf("core: borrow swap %d bytes: %w", r.Size, ErrTimeout)
 	}

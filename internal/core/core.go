@@ -40,6 +40,25 @@ type Config struct {
 	StartRecovery bool
 	// SweepInterval overrides the recovery loop's scan period when >0.
 	SweepInterval sim.Dur
+	// Telemetry enables the windowed link-utilization plane: every
+	// agent's heartbeats then carry per-link recent utilization, feeding
+	// the monitor.View that telemetry-aware policies and the migration
+	// loop consume. Off by default (the heartbeat payload is unchanged).
+	Telemetry bool
+	// MigrateInterval launches the MN's telemetry-driven lease-migration
+	// loop at this period when >0 (see monitor.Monitor.StartMigration;
+	// requires Telemetry to ever observe a hot path). Like recovery, the
+	// loop keeps the event queue alive. MigrateUtil and MigrateMargin
+	// override the loop's hot threshold and required cool-down when >0.
+	MigrateInterval sim.Dur
+	MigrateUtil     float64
+	MigrateMargin   float64
+	// SpareRegionBytes enables per-donor spare-region pools when >0:
+	// SparesPerDonor regions (default 1) of this size are kept
+	// pre-plugged on every donor so failover and migration skip the
+	// hot-plug latency (see monitor.Monitor.EnableSparePool).
+	SpareRegionBytes uint64
+	SparesPerDonor   int
 }
 
 // Cluster is a running Venice rack. It implements Plane: acquire any
@@ -86,6 +105,7 @@ func NewCluster(cfg Config) *Cluster {
 		if cfg.HeartbeatInterval > 0 {
 			a.Interval = cfg.HeartbeatInterval
 		}
+		a.Telemetry = cfg.Telemetry
 		c.Agents = append(c.Agents, a)
 	}
 	c.MN = monitor.New(c.Nodes[cfg.MonitorNode].EP, topo)
@@ -105,6 +125,18 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	if cfg.StartRecovery {
 		c.MN.StartRecovery()
+	}
+	if cfg.SpareRegionBytes > 0 {
+		per := cfg.SparesPerDonor
+		if per <= 0 {
+			per = 1
+		}
+		c.MN.EnableSparePool(cfg.SpareRegionBytes, per)
+	}
+	if cfg.MigrateInterval > 0 {
+		c.MN.MigrateUtil = cfg.MigrateUtil
+		c.MN.MigrateMargin = cfg.MigrateMargin
+		c.MN.StartMigration(cfg.MigrateInterval)
 	}
 	return c
 }

@@ -6,9 +6,29 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/monitor"
+	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
+
+// acquireMem borrows remote memory for n through the unified Acquire
+// surface — the spelling the deleted Borrow* wrappers used to hide.
+func acquireMem(p *sim.Proc, c Plane, n *node.Node, size uint64, opts ...Option) (*MemoryLease, error) {
+	l, err := c.Acquire(p, NewRequest(Memory, n, size, opts...))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*MemoryLease), nil
+}
+
+// attachDirect wires a donor-named CRMA attachment, MN not involved.
+func attachDirect(p *sim.Proc, c Plane, n, donor *node.Node, size uint64) (*MemoryLease, error) {
+	l, err := c.Acquire(p, NewRequest(DirectMemory, n, size, WithDonor(donor)))
+	if err != nil {
+		return nil, err
+	}
+	return l.(*MemoryLease), nil
+}
 
 func defaultCluster(t *testing.T) *Cluster {
 	t.Helper()
@@ -41,7 +61,7 @@ func TestBorrowMemoryEndToEnd(t *testing.T) {
 	var lease *MemoryLease
 	recipient.Run("borrow", func(p *sim.Proc) {
 		var err error
-		lease, err = c.BorrowMemory(p, recipient, size)
+		lease, err = acquireMem(p, c, recipient, size)
 		if err != nil {
 			t.Error(err)
 			return
@@ -73,7 +93,7 @@ func TestLeaseReleaseReturnsMemory(t *testing.T) {
 	c := defaultCluster(t)
 	recipient := c.Node(7)
 	recipient.Run("cycle", func(p *sim.Proc) {
-		lease, err := c.BorrowMemory(p, recipient, 64<<20)
+		lease, err := acquireMem(p, c, recipient, 64<<20)
 		if err != nil {
 			t.Error(err)
 			return
@@ -96,7 +116,7 @@ func TestAttachMemoryDirectSkipsMN(t *testing.T) {
 	recipient, donor := c.Node(0), c.Node(1)
 	var fills int64
 	recipient.Run("direct", func(p *sim.Proc) {
-		lease, err := AttachMemoryDirect(p, recipient, donor, 256<<20)
+		lease, err := attachDirect(p, c, recipient, donor, 256<<20)
 		if err != nil {
 			t.Error(err)
 			return
@@ -121,11 +141,12 @@ func TestBorrowSwapAndMount(t *testing.T) {
 	c.P.ReadaheadPages = 1 // exact fault counts below
 	recipient := c.Node(6)
 	recipient.Run("swap", func(p *sim.Proc) {
-		lease, err := c.BorrowSwap(p, recipient, 64<<20)
+		l, err := c.Acquire(p, NewRequest(Swap, recipient, 64<<20))
 		if err != nil {
 			t.Error(err)
 			return
 		}
+		lease := l.(*SwapLease)
 		base := recipient.NextHotplugWindow(64 << 20)
 		paged, err := lease.Mount(base, 64<<20, 16)
 		if err != nil {
@@ -177,11 +198,12 @@ func TestAttachAcceleratorViaMN(t *testing.T) {
 	recipient := c.Node(0)
 	client := accel.NewClient(recipient)
 	recipient.Run("offload", func(p *sim.Proc) {
-		lease, err := c.AttachAccelerator(p, recipient, client, 0, false)
+		l, err := c.Acquire(p, NewRequest(Accel, recipient, 1, WithClient(client)))
 		if err != nil {
 			t.Error(err)
 			return
 		}
+		lease := l.(*AccelLease)
 		if lease.Donor() != 3 {
 			t.Errorf("donor = %v, want n3", lease.Donor())
 		}
@@ -201,11 +223,12 @@ func TestAttachNICViaMN(t *testing.T) {
 
 	recipient := c.Node(0)
 	recipient.Run("nic", func(p *sim.Proc) {
-		lease, err := c.AttachNIC(p, recipient)
+		l, err := c.Acquire(p, NewRequest(NIC, recipient, 1))
 		if err != nil {
 			t.Error(err)
 			return
 		}
+		lease := l.(*NICLease)
 		if lease.Donor() != 2 {
 			t.Errorf("donor = %v, want n2", lease.Donor())
 		}
@@ -227,7 +250,7 @@ func TestAdaptiveLibraryPicksChannels(t *testing.T) {
 	qa, _ := transport.ConnectQPair(recipient.EP, donor.EP, transport.QPairConfig{})
 	var usedCRMA, usedRDMA, usedQP transport.Channel
 	recipient.Run("adaptive", func(p *sim.Proc) {
-		lease, err := AttachMemoryDirect(p, recipient, donor, 128<<20)
+		lease, err := attachDirect(p, c, recipient, donor, 128<<20)
 		if err != nil {
 			t.Error(err)
 			return
@@ -252,7 +275,7 @@ func TestBorrowFailureSurfacesError(t *testing.T) {
 	c := defaultCluster(t)
 	recipient := c.Node(1)
 	recipient.Run("toobig", func(p *sim.Proc) {
-		if _, err := c.BorrowMemory(p, recipient, 16<<30); err == nil {
+		if _, err := acquireMem(p, c, recipient, 16<<30); err == nil {
 			t.Error("16 GiB borrow should fail on 1 GiB nodes")
 		}
 	})

@@ -46,11 +46,11 @@ func TestHierBorrowScopes(t *testing.T) {
 	var local, cross *MemoryLease
 	done := recipient.Run("borrower", func(p *sim.Proc) {
 		var err error
-		if local, err = cl.BorrowMemoryScoped(p, recipient, 4<<20, monitor.ScopeLocalRack); err != nil {
+		if local, err = acquireMem(p, cl, recipient, 4<<20, WithScope(monitor.ScopeLocalRack)); err != nil {
 			t.Errorf("local borrow: %v", err)
 			return
 		}
-		if cross, err = cl.BorrowMemoryScoped(p, recipient, 4<<20, monitor.ScopeRemoteRack); err != nil {
+		if cross, err = acquireMem(p, cl, recipient, 4<<20, WithScope(monitor.ScopeRemoteRack)); err != nil {
 			t.Errorf("cross borrow: %v", err)
 			return
 		}
@@ -107,7 +107,7 @@ func TestHierStarvedRackEscalates(t *testing.T) {
 	var lease *MemoryLease
 	done := recipient.Run("starved", func(p *sim.Proc) {
 		var err error
-		if lease, err = cl.BorrowMemory(p, recipient, 4<<20); err != nil {
+		if lease, err = acquireMem(p, cl, recipient, 4<<20); err != nil {
 			t.Errorf("borrow from starved rack: %v", err)
 		}
 	})
@@ -142,7 +142,7 @@ func TestHierRackLocalCrashStaysLocal(t *testing.T) {
 	recipient := cl.Node(2)
 	reads := 0
 	done := recipient.Run("tenant", func(p *sim.Proc) {
-		lease, err := cl.BorrowMemoryScoped(p, recipient, 4<<20, monitor.ScopeLocalRack)
+		lease, err := acquireMem(p, cl, recipient, 4<<20, WithScope(monitor.ScopeLocalRack))
 		if err != nil {
 			t.Errorf("borrow: %v", err)
 			return
@@ -209,7 +209,7 @@ func TestHierKillSubMN(t *testing.T) {
 	var lease *MemoryLease
 	done := recipient.Run("tenant", func(p *sim.Proc) {
 		var err error
-		lease, err = cl.BorrowMemoryScoped(p, recipient, 4<<20, monitor.ScopeRemoteRack)
+		lease, err = acquireMem(p, cl, recipient, 4<<20, WithScope(monitor.ScopeRemoteRack))
 		if err != nil {
 			t.Errorf("borrow: %v", err)
 			return

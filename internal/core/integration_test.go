@@ -30,7 +30,7 @@ func TestFullRackScenario(t *testing.T) {
 		results[i] = &result{}
 		n := c.Node(nodeID)
 		n.Run("tenant", func(p *sim.Proc) {
-			lease, err := c.BorrowMemory(p, n, 128<<20)
+			lease, err := acquireMem(p, c, n, 128<<20)
 			if err != nil {
 				t.Errorf("tenant %d: %v", i, err)
 				return
@@ -78,7 +78,7 @@ func TestDeterministicReplay(t *testing.T) {
 		var sum uint64
 		var at sim.Time
 		n.Run("tenant", func(p *sim.Proc) {
-			lease, err := c.BorrowMemory(p, n, 64<<20)
+			lease, err := acquireMem(p, c, n, 64<<20)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -118,7 +118,7 @@ func TestConcurrentBorrowersShareOneDonor(t *testing.T) {
 		i, id := i, id
 		n := c.Node(id)
 		n.Run("borrower", func(p *sim.Proc) {
-			lease, err := c.BorrowMemory(p, n, 64<<20)
+			lease, err := acquireMem(p, c, n, 64<<20)
 			if err != nil {
 				t.Errorf("borrower %d: %v", i, err)
 				return

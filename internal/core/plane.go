@@ -108,6 +108,8 @@ type Request struct {
 	client    *accel.Client
 	timeout   sim.Dur
 	retry     RetryPolicy
+	policy    string
+	latency   bool
 }
 
 // Option refines a Request.
@@ -170,6 +172,25 @@ func WithDonor(donor *node.Node) Option {
 // attaches through.
 func WithClient(c *accel.Client) Option {
 	return func(r *Request) { r.client = c }
+}
+
+// WithPolicy overrides the Monitor Node's placement policy for this one
+// request: the MN's donor walk orders candidates with the named policy
+// (any name in monitor.PolicyNames) instead of its configured default.
+// Memory and Swap requests only — devices and direct attachments have
+// no donor election to steer.
+func WithPolicy(name string) Option {
+	return func(r *Request) { r.policy = name }
+}
+
+// WithLatencySensitive marks a memory or swap lease's traffic
+// latency-sensitive: the Monitor Node's migration loop (when running)
+// relieves the lease's path by moving bulk leases away from its hot
+// links, and never retargets the lease itself — a retarget-and-replay
+// pause is exactly what the class forbids. Placement is unchanged; the
+// class only steers migration.
+func WithLatencySensitive() Option {
+	return func(r *Request) { r.latency = true }
 }
 
 // Acquire failure classes, surfaced with errors.Is through whatever
@@ -243,6 +264,20 @@ func (r *Request) validate(hier bool) error {
 			return fmt.Errorf("%w: placement scope on a flat plane (no racks)", ErrBadRequest)
 		}
 	}
+	if r.policy != "" {
+		// Policy overrides steer the same donor election as scopes do.
+		if r.Kind != Memory && r.Kind != Swap {
+			return fmt.Errorf("%w: placement policy on a %s request", ErrBadRequest, r.Kind)
+		}
+		if _, ok := monitor.PolicyByName(r.policy); !ok {
+			return fmt.Errorf("%w: unknown placement policy %q (have %v)", ErrBadRequest, r.policy, monitor.PolicyNames())
+		}
+	}
+	if r.latency && r.Kind != Memory && r.Kind != Swap {
+		// The traffic class steers the MN's migration loop, which only
+		// manages memory rows.
+		return fmt.Errorf("%w: latency-sensitive class on a %s request", ErrBadRequest, r.Kind)
+	}
 	return nil
 }
 
@@ -288,8 +323,7 @@ type Plane interface {
 type EventType int
 
 const (
-	// LeaseGranted fires when an Acquire (or a deprecated wrapper)
-	// completes.
+	// LeaseGranted fires when an Acquire completes.
 	LeaseGranted EventType = iota
 	// LeaseReleased fires when a lease is released voluntarily.
 	LeaseReleased
@@ -308,6 +342,10 @@ const (
 	// events of its rolled-back predecessors; observers tracking
 	// capacity rather than caller errors can filter on Err.
 	LeaseAcquireFailed
+	// LeaseMigrated fires when the MN's telemetry-driven migration loop
+	// moved a lease's backing to a donor behind a cooler path (Donor is
+	// the new one, OldDonor the still-healthy one it moved off of).
+	LeaseMigrated
 )
 
 // String names the event type.
@@ -323,6 +361,8 @@ func (t EventType) String() string {
 		return "failed-over"
 	case LeaseAcquireFailed:
 		return "acquire-failed"
+	case LeaseMigrated:
+		return "migrated"
 	default:
 		return "unknown"
 	}
@@ -387,6 +427,8 @@ func (h *eventHub) forwardRecovery(ev monitor.LeaseEvent) {
 		t = LeaseRevoked
 	case monitor.LeaseFailedOver:
 		t = LeaseFailedOver
+	case monitor.LeaseMigrated:
+		t = LeaseMigrated
 	default:
 		return
 	}

@@ -124,58 +124,44 @@ func memoryGrant(t *testing.T, seed uint64, borrow func(p *sim.Proc, c *Cluster)
 	return g
 }
 
-// TestDeprecatedWrappersMatchAcquire asserts the migration property the
-// wrappers exist for: under shared seeds, a deprecated Borrow*/Attach*
-// call and the equivalent direct Acquire produce identical grants —
-// same donor, same addresses, same virtual-time cost, same MN activity.
-func TestDeprecatedWrappersMatchAcquire(t *testing.T) {
-	for _, seed := range []uint64{1, 7, 42} {
-		const size = 96 << 20
-		viaWrapper := memoryGrant(t, seed, func(p *sim.Proc, c *Cluster) (*MemoryLease, error) {
-			return c.BorrowMemory(p, c.Node(7), size)
-		})
-		viaAcquire := memoryGrant(t, seed, func(p *sim.Proc, c *Cluster) (*MemoryLease, error) {
-			l, err := c.Acquire(p, NewRequest(Memory, c.Node(7), size))
-			if err != nil {
-				return nil, err
-			}
-			return l.(*MemoryLease), nil
-		})
-		if viaWrapper != viaAcquire {
-			t.Fatalf("seed %d: wrapper grant %+v != Acquire grant %+v", seed, viaWrapper, viaAcquire)
-		}
+// TestWithPolicyOverridesDefault: a per-request placement policy rides
+// the request to the MN and steers the grant, without touching the
+// cluster's default policy — and spelling the default explicitly is a
+// no-op, byte-for-byte.
+func TestWithPolicyOverridesDefault(t *testing.T) {
+	const size = 96 << 20
+	base := memoryGrant(t, 7, func(p *sim.Proc, c *Cluster) (*MemoryLease, error) {
+		return acquireMem(p, c, c.Node(7), size)
+	})
+	explicit := memoryGrant(t, 7, func(p *sim.Proc, c *Cluster) (*MemoryLease, error) {
+		return acquireMem(p, c, c.Node(7), size, WithPolicy("distance"))
+	})
+	if base != explicit {
+		t.Fatalf("explicit default policy changed the grant: %+v != %+v", explicit, base)
+	}
+	// Spread breaks the all-idle tie by node id and lands on node 0 —
+	// three hops from the requester, a donor distance-first never picks.
+	spread := memoryGrant(t, 7, func(p *sim.Proc, c *Cluster) (*MemoryLease, error) {
+		return acquireMem(p, c, c.Node(7), size, WithPolicy("spread"))
+	})
+	if spread.donor == base.donor {
+		t.Fatalf("spread and distance chose the same donor %v — override never reached the MN", spread.donor)
 	}
 
-	// Direct attach: same equivalence without an MN in the path.
-	direct := func(via func(p *sim.Proc, c *Cluster) (*MemoryLease, error)) grantShape {
-		c := NewCluster(Config{})
-		defer c.Close()
-		var g grantShape
-		recipient := c.Node(0)
-		recipient.Run("direct", func(p *sim.Proc) {
-			lease, err := via(p, c)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			g = grantShape{donor: lease.Donor(), window: lease.WindowBase,
-				dbase: lease.DonorBase, size: lease.Size, at: p.Now()}
-		})
-		c.Run()
-		return g
-	}
-	viaWrapper := direct(func(p *sim.Proc, c *Cluster) (*MemoryLease, error) {
-		return AttachMemoryDirect(p, c.Node(0), c.Node(1), 64<<20)
-	})
-	viaAcquire := direct(func(p *sim.Proc, c *Cluster) (*MemoryLease, error) {
-		l, err := c.Acquire(p, NewRequest(DirectMemory, c.Node(0), 64<<20, WithDonor(c.Node(1))))
-		if err != nil {
-			return nil, err
+	// An unregistered policy is a hard request error, rejected before
+	// anything reaches the wire.
+	c := NewCluster(Config{StartAgents: true, Seed: 7})
+	defer c.Close()
+	c.RunFor(1 * sim.Second)
+	done := c.Node(7).Run("badpolicy", func(p *sim.Proc) {
+		_, err := c.Acquire(p, NewRequest(Memory, c.Node(7), size, WithPolicy("no-such-policy")))
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("unknown policy: err = %v, want ErrBadRequest", err)
 		}
-		return l.(*MemoryLease), nil
 	})
-	if viaWrapper != viaAcquire {
-		t.Fatalf("direct: wrapper grant %+v != Acquire grant %+v", viaWrapper, viaAcquire)
+	c.RunFor(1 * sim.Second)
+	if !done.Done() {
+		t.Fatal("unknown-policy request reached the MN")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/harness"
+	"repro/internal/monitor"
 	"repro/internal/serving"
 	"repro/internal/sim"
 )
@@ -50,7 +51,12 @@ func churnCellsFull() []churnCell {
 			cells = append(cells, churnCellOf("distance", "distance", nodes, fault, churnRequests, 2))
 		}
 	}
-	for _, pol := range []string{"most-idle", "traffic-aware"} {
+	// The policy axis enumerates the registry ("distance" already swept
+	// above), so new policies join the hardest point automatically.
+	for _, pol := range monitor.PolicyNames() {
+		if pol == "distance" {
+			continue
+		}
 		cells = append(cells, churnCellOf(pol, pol, 8, serving.FaultFast, churnRequests, 2))
 	}
 	return cells

@@ -24,6 +24,7 @@ func init() {
 	harness.Register("scale-smoke", scaleSmokeSpec())
 	harness.Register("serving-churn", churnSweepSpec())
 	harness.Register("churn-smoke", churnSmokeSpec())
+	harness.Register("migrate-smoke", migrateSmokeSpec())
 	harness.Register("engine-smoke", engineSmokeSpec())
 	harness.Register("ablation-mshr", ablationMSHRSpec(ablationMSHRs))
 	harness.Register("ablation-readahead", ablationReadaheadSpec())

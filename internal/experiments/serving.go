@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/monitor"
 	"repro/internal/serving"
 	"repro/internal/sim"
 )
@@ -67,7 +68,9 @@ func servingCellsFull() []servingCell {
 			cells = append(cells, kvCell(nodes, util))
 		}
 	}
-	for _, pol := range []string{"distance", "most-idle", "traffic-aware"} {
+	// The policy axis enumerates the registry, so a newly registered
+	// policy joins the sweep without touching this file.
+	for _, pol := range monitor.PolicyNames() {
 		for _, util := range []float64{0.6, 0.9} {
 			cells = append(cells, tierCell(pol, pol, 8, 3, util, serving.ArrivalSpec{}))
 		}

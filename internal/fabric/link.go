@@ -127,13 +127,48 @@ func (l *Link) SetDown(down bool) { l.down = down }
 func (l *Link) Down() bool { return l.down }
 
 // Utilization reports the fraction of the interval [0, now] the
-// serializer was busy.
+// serializer was busy. As a telemetry signal this lifetime average is
+// nearly useless after warm-up — it dilutes every burst over the whole
+// run — so samplers should prefer Sample/UtilizationSince, which report
+// a recent window instead.
 func (l *Link) Utilization() float64 {
-	now := l.eng.Now()
-	if now == 0 {
+	return l.UtilizationSince(LinkSample{})
+}
+
+// LinkSample marks one instant of a link's busy-time accumulation; a
+// later UtilizationSince against it yields the utilization of just the
+// window between the two instants. The zero value marks time zero, so
+// UtilizationSince(LinkSample{}) is the lifetime average.
+type LinkSample struct {
+	At   sim.Time
+	Busy sim.Dur
+}
+
+// Sample captures the link's current busy-time accumulation for
+// windowed utilization measurement.
+func (l *Link) Sample() LinkSample {
+	return LinkSample{At: l.eng.Now(), Busy: l.stats.BusyTime}
+}
+
+// UtilizationSince reports the fraction of the window (s.At, now] the
+// serializer was busy — the windowed signal the telemetry plane
+// heartbeats to the Monitor Node. An empty window reports 0.
+func (l *Link) UtilizationSince(s LinkSample) float64 {
+	window := l.eng.Now().Sub(s.At)
+	if window <= 0 {
 		return 0
 	}
-	return l.stats.BusyTime.Seconds() / sim.Dur(now).Seconds()
+	busy := l.stats.BusyTime - s.Busy
+	if busy < 0 {
+		busy = 0
+	}
+	u := busy.Seconds() / window.Seconds()
+	// The serializer can be committed past the sample instant (nextFree
+	// beyond now books BusyTime early); clamp so consumers see [0, 1].
+	if u > 1 {
+		u = 1
+	}
+	return u
 }
 
 // send queues a packet for transmission, respecting datalink credits.

@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The windowed utilization sampler is the ground truth the telemetry
+// plane heartbeats to the Monitor Node; these tests pin its contract:
+// empty windows read 0, a window's value is the busy fraction of that
+// window alone, recent idle is visible immediately (the defect the
+// lifetime average had), and overcommitted serializers clamp to 1.
+
+func TestUtilizationSinceEmptyWindowIsZero(t *testing.T) {
+	_, net, _ := testNet(t, Pair())
+	l := net.Link(0, 1)
+	if u := l.UtilizationSince(l.Sample()); u != 0 {
+		t.Fatalf("zero-length window reads %v, want 0", u)
+	}
+	if u := l.Utilization(); u != 0 {
+		t.Fatalf("untouched link lifetime utilization = %v, want 0", u)
+	}
+}
+
+func TestUtilizationSinceIsBusyFractionOfWindow(t *testing.T) {
+	eng, net, logs := testNet(t, Pair())
+	l := net.Link(0, 1)
+	p := sim.Default()
+	mark := l.Sample()
+	eng.Schedule(0, func() {
+		net.Send(&Packet{Src: 0, Dst: 1, Kind: "bulk", Size: 4096})
+	})
+	const window = 100 * sim.Microsecond
+	eng.RunFor(window)
+	if len(logs[1]) != 1 {
+		t.Fatal("packet not delivered inside the window")
+	}
+	// One packet's serialization time over the whole window.
+	want := p.Serialize(4096).Seconds() / window.Seconds()
+	if got := l.UtilizationSince(mark); got != want {
+		t.Fatalf("windowed utilization = %v, want %v", got, want)
+	}
+}
+
+func TestUtilizationSinceSeesRecentIdle(t *testing.T) {
+	eng, net, _ := testNet(t, Pair())
+	l := net.Link(0, 1)
+	// A burst in the first millisecond, then a silent millisecond.
+	eng.Schedule(0, func() {
+		for i := 0; i < 20; i++ {
+			net.Send(&Packet{Src: 0, Dst: 1, Kind: "bulk", Size: 4096})
+		}
+	})
+	eng.RunFor(1 * sim.Millisecond)
+	mark := l.Sample()
+	eng.RunFor(1 * sim.Millisecond)
+	// The idle window reads 0 even though the lifetime average is still
+	// diluted by the old burst — the signal placement must not act on.
+	if u := l.UtilizationSince(mark); u != 0 {
+		t.Fatalf("idle window reads %v, want 0", u)
+	}
+	if u := l.Utilization(); u <= 0 {
+		t.Fatal("lifetime average lost the burst entirely")
+	}
+}
+
+func TestUtilizationSinceClampsOvercommit(t *testing.T) {
+	eng, net, _ := testNet(t, Pair())
+	l := net.Link(0, 1)
+	p := sim.Default()
+	mark := l.Sample()
+	// Booking a burst charges BusyTime at transmit time, committing the
+	// serializer past any mid-burst sample instant.
+	eng.Schedule(0, func() {
+		for i := 0; i < 50; i++ {
+			net.Send(&Packet{Src: 0, Dst: 1, Kind: "bulk", Size: 4096})
+		}
+	})
+	eng.RunFor(p.Serialize(4096)) // one packet's worth of wall time
+	if u := l.UtilizationSince(mark); u != 1 {
+		t.Fatalf("overcommitted window reads %v, want clamped 1", u)
+	}
+}

@@ -140,6 +140,15 @@ func (t Topology) shortestNextHops() []map[NodeID]NodeID {
 	return tables
 }
 
+// NextHops returns, for every source node, the next hop on the
+// deterministic shortest path to every destination — the same tables
+// the switches route by, exposed so control-plane consumers (the
+// telemetry view's path-utilization walk) can reason about the links a
+// node pair's traffic actually crosses.
+func (t Topology) NextHops() []map[NodeID]NodeID {
+	return t.shortestNextHops()
+}
+
 // HopCount reports the shortest-path hop count between a and b.
 func (t Topology) HopCount(a, b NodeID) int {
 	if a == b {

@@ -24,6 +24,13 @@ type Agent struct {
 	// Interval is the heartbeat period.
 	Interval sim.Dur
 
+	// Telemetry enables the windowed link-utilization plane: each
+	// heartbeat's link probes then carry the utilization of the window
+	// since the previous beat, sampled from both directions of every
+	// adjacent link. Off by default — the probe wire format is unchanged
+	// when disabled.
+	Telemetry bool
+
 	mn      fabric.NodeID
 	stopped bool
 
@@ -41,8 +48,22 @@ type Agent struct {
 
 	exports map[string]*transport.RAMTEntry // donor-side export bookkeeping
 
+	// marks holds each adjacent link direction's last telemetry sample,
+	// keyed by neighbor, so probes report per-window utilization.
+	marks map[fabric.NodeID]*linkMarks
+
+	// spares holds pre-plugged regions (base -> size): memory already
+	// hot-removed from the local OS but not yet exported to anyone,
+	// parked so a failover can attach it without the hot-plug latency.
+	spares map[uint64]uint64
+
 	// Stats counts agent activity.
 	Stats sim.Scoreboard
+}
+
+// linkMarks is one neighbor's pair of directional telemetry samples.
+type linkMarks struct {
+	out, in fabric.LinkSample
 }
 
 // NewAgent attaches an agent to a node's endpoint and memory manager.
@@ -54,11 +75,15 @@ func NewAgent(ep *transport.Endpoint, mm *memsys.MemManager, net *fabric.Network
 		Devices:  make(map[DeviceKind]int),
 		Interval: 500 * sim.Millisecond,
 		exports:  make(map[string]*transport.RAMTEntry),
+		marks:    make(map[fabric.NodeID]*linkMarks),
+		spares:   make(map[uint64]uint64),
 	}
 	ep.HandleCall(kindHotRemove, a.onHotRemove)
 	ep.HandleCall(kindHotReturn, a.onHotReturn)
 	ep.HandleCall(kindRelocate, a.onRelocate)
 	ep.HandleCall(kindRevoke, a.onRevoke)
+	ep.HandleCall(kindSpareCarve, a.onSpareCarve)
+	ep.HandleCall(kindSpareAttach, a.onSpareAttach)
 	return a
 }
 
@@ -93,6 +118,7 @@ func (a *Agent) Crash() { a.crashed = true }
 func (a *Agent) Restart() {
 	a.incarnation++
 	a.exports = make(map[string]*transport.RAMTEntry)
+	a.spares = make(map[uint64]uint64) // parked spares die with the power cycle
 	a.EP.CRMA.Reset()
 	a.MemMgr.Reboot()
 	a.crashed = false
@@ -134,17 +160,35 @@ func (a *Agent) beat(p *sim.Proc) {
 
 // probeLinks tests this node's fabric ports (the daemon "tests and
 // reports the status of the Venice fabric links on every heartbeat").
+// With Telemetry on, each probe additionally samples both directions of
+// the link and reports the busier one's utilization over the window
+// since the previous beat.
 func (a *Agent) probeLinks() []LinkProbe {
 	var probes []LinkProbe
 	for _, nb := range a.Net.Topo.NeighborsOf(a.EP.ID) {
-		up := true
-		if l := a.Net.Link(a.EP.ID, nb); l != nil && l.Down() {
-			up = false
+		pr := LinkProbe{Peer: nb, Up: true}
+		out := a.Net.Link(a.EP.ID, nb)
+		in := a.Net.Link(nb, a.EP.ID)
+		if out != nil && out.Down() {
+			pr.Up = false
 		}
-		if l := a.Net.Link(nb, a.EP.ID); l != nil && l.Down() {
-			up = false
+		if in != nil && in.Down() {
+			pr.Up = false
 		}
-		probes = append(probes, LinkProbe{Peer: nb, Up: up})
+		if a.Telemetry && out != nil && in != nil {
+			mk, ok := a.marks[nb]
+			if !ok {
+				mk = &linkMarks{}
+				a.marks[nb] = mk
+			}
+			u := out.UtilizationSince(mk.out)
+			if ui := in.UtilizationSince(mk.in); ui > u {
+				u = ui
+			}
+			pr.Util, pr.HasUtil = u, true
+			mk.out, mk.in = out.Sample(), in.Sample()
+		}
+		probes = append(probes, pr)
 	}
 	return probes
 }
@@ -201,6 +245,46 @@ func (a *Agent) onRevoke(_ *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	a.EP.CRMA.KillWindow(r.RecipientBase, r.Size)
 	a.Stats.Add("revoked", 1)
 	return &ack{}, 8
+}
+
+// onSpareCarve services the MN's spare-pool provisioning request:
+// hot-remove the region now — off any grant's critical path — and park
+// it unexported so a later spareAttach can hand it out without the
+// hot-plug latency.
+func (a *Agent) onSpareCarve(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
+	r := req.(*spareCarveReq)
+	if a.MemMgr.Idle() < r.Size {
+		a.Stats.Add("spare.declined", 1)
+		return &spareCarveResp{OK: false, Err: "insufficient idle memory"}, 32
+	}
+	base, err := a.MemMgr.HotRemove(p, r.Size)
+	if err != nil {
+		a.Stats.Add("spare.declined", 1)
+		return &spareCarveResp{OK: false, Err: err.Error()}, 32
+	}
+	a.spares[base] = r.Size
+	a.Stats.Add("spare.carved", 1)
+	return &spareCarveResp{OK: true, Base: base}, 32
+}
+
+// onSpareAttach exports a parked spare region to a recipient — the
+// failover/migration fast path. The hot-plug already happened at carve
+// time, so this is only the CRMA export install.
+func (a *Agent) onSpareAttach(_ *sim.Proc, _ fabric.NodeID, req any) (any, int) {
+	r := req.(*spareAttachReq)
+	size, ok := a.spares[r.Base]
+	if !ok || size != r.Size {
+		// The MN's pool entry is stale (we rebooted since the carve, or
+		// this is a duplicate attach): refuse so the MN falls back to an
+		// ordinary hot-remove instead of handing out memory we don't hold.
+		a.Stats.Add("spare.attach_stale", 1)
+		return &spareAttachResp{OK: false, Err: "no such spare region"}, 16
+	}
+	delete(a.spares, r.Base)
+	e := a.EP.CRMA.Export(r.Recipient, r.RecipientBase, r.Size, r.Base)
+	a.exports[exportKey(r.Recipient, r.RecipientBase)] = e
+	a.Stats.Add("spare.attached", 1)
+	return &spareAttachResp{OK: true}, 16
 }
 
 // onHotReturn tears down a donation: invalidate the export and hot-add

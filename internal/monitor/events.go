@@ -31,6 +31,10 @@ const (
 	// LeaseFailedOver fires when recovery re-placed a lease onto a new
 	// donor (rack-local failover, or a root-MN re-delegation).
 	LeaseFailedOver
+	// LeaseMigrated fires when the telemetry-driven migration loop moved
+	// a live lease to a donor behind a cooler path (the old donor stays
+	// healthy and gets its region back).
+	LeaseMigrated
 )
 
 // String names the event type.
@@ -44,6 +48,8 @@ func (t LeaseEventType) String() string {
 		return "revoked"
 	case LeaseFailedOver:
 		return "failed-over"
+	case LeaseMigrated:
+		return "migrated"
 	default:
 		return "unknown"
 	}

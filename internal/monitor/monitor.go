@@ -40,17 +40,27 @@ type Allocation struct {
 	Size          uint64
 	At            sim.Time
 
+	// Latency marks a latency-sensitive lease: the migration loop works
+	// for it (moving bulk leases off its hot path) and never moves it —
+	// a retarget-and-replay pause is exactly what the class forbids.
+	Latency bool
+
 	// Deleg is the root MN's delegation id when this row backs a lease
 	// delegated from another rack (the recipient is outside this sub-MN's
 	// rack); 0 for ordinary local grants.
 	Deleg int
 }
 
-// LinkStatus is one row of the Topology Status Table.
+// LinkStatus is one row of the Topology Status Table. Util carries the
+// windowed utilization the owning agent last sampled for the link
+// (HasUtil distinguishes "idle" from "never sampled" — agents only
+// report it when telemetry is enabled).
 type LinkStatus struct {
 	A, B     fabric.NodeID
 	Up       bool
 	LastSeen sim.Time
+	Util     float64
+	HasUtil  bool
 }
 
 // Monitor is the Monitor Node runtime. One instance runs on a designated
@@ -119,6 +129,23 @@ type Monitor struct {
 	pendingRelocates map[int]*pendingNotice[relocateReq]
 	pendingRevokes   map[int]*pendingNotice[revokeReq]
 
+	// Spare-region pool state (spare.go): per-donor pre-plugged regions
+	// that let failover and migration skip the hot-plug latency.
+	sparePoolOn  bool
+	spareSize    uint64
+	sparePer     int
+	spares       map[fabric.NodeID][]spareRegion
+	sparePending map[fabric.NodeID]int
+
+	// Migration loop state (migrate.go).
+	migrationOn bool
+	// MigrateUtil is the windowed path-utilization threshold above which
+	// a lease is considered hot (0 selects the default, 0.75);
+	// MigrateMargin is how much cooler a destination path must be for a
+	// move to be worthwhile (0 selects the default, 0.20).
+	MigrateUtil   float64
+	MigrateMargin float64
+
 	// Stats counts runtime activity, including allocation retries caused
 	// by stale RRT records (§5.3's handshake-and-retry).
 	Stats sim.Scoreboard
@@ -143,6 +170,8 @@ func New(ep *transport.Endpoint, topo fabric.Topology) *Monitor {
 		delegated:        make(map[int]delegatedLease),
 		pendingRackFrees: make(map[int]*rackFreeReq),
 		pendingCancels:   make(map[cancelKey]*borrowCancelReq),
+		spares:           make(map[fabric.NodeID][]spareRegion),
+		sparePending:     make(map[fabric.NodeID]int),
 	}
 	ep.HandleCall(kindHeartbeat, m.onHeartbeat)
 	ep.HandleCall(kindAllocMem, m.onAllocMem)
@@ -260,15 +289,24 @@ func (m *Monitor) onHeartbeat(p *sim.Proc, from fabric.NodeID, req any) (any, in
 		}
 		s.Up = lp.Up
 		s.LastSeen = m.EP.Eng.Now()
+		if lp.HasUtil {
+			// Both endpoints may sample the same link; keep the freshest
+			// report (last writer wins — reports carry the same window
+			// semantics either way).
+			s.Util = lp.Util
+			s.HasUtil = true
+		}
 	}
 	_ = from
 	m.Stats.Add("heartbeats", 1)
 	return &ack{}, 8
 }
 
-// donorCandidates collects live donors and orders them with the active
-// policy (the prototype default considers only distance, §5.3).
-func (m *Monitor) donorCandidates(requester fabric.NodeID) []*Registration {
+// donorCandidates collects live donors and orders them with pol — the
+// per-request policy override when non-nil, else the MN's configured
+// policy, else the prototype default (distance only, §5.3). The policy
+// sees the current telemetry View.
+func (m *Monitor) donorCandidates(requester fabric.NodeID, pol Policy) []*Registration {
 	var cands []*Registration
 	for _, r := range m.rrt {
 		if r.Node == requester || !m.NodeAlive(r.Node) {
@@ -276,11 +314,13 @@ func (m *Monitor) donorCandidates(requester fabric.NodeID) []*Registration {
 		}
 		cands = append(cands, r)
 	}
-	pol := m.Policy
+	if pol == nil {
+		pol = m.Policy
+	}
 	if pol == nil {
 		pol = DistanceFirst{}
 	}
-	pol.Order(m, requester, cands)
+	pol.Choose(m.view(), requester, cands)
 	return cands
 }
 
@@ -290,8 +330,12 @@ func (m *Monitor) donorCandidates(requester fabric.NodeID) []*Registration {
 // remote rack outright.
 func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
 	r := req.(*AllocMemReq)
+	pol, ok := m.resolvePolicy(r.Policy)
+	if !ok {
+		return &AllocMemResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 64
+	}
 	if r.Scope != ScopeRemoteRack {
-		if a, ok := m.grantFrom(p, from, r.Size, r.WindowBase, 0); ok {
+		if a, ok := m.grantFrom(p, from, r.Size, r.WindowBase, 0, pol, r.Latency); ok {
 			m.Stats.Add("alloc.memory", 1)
 			return &AllocMemResp{OK: true, AllocID: a.ID, Donor: a.Donor, DonorBase: a.DonorBase}, 64
 		}
@@ -305,13 +349,25 @@ func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int
 	return &AllocMemResp{OK: false, Err: fmt.Sprintf("no donor with %d idle bytes", r.Size)}, 64
 }
 
+// resolvePolicy maps a request's policy-override name onto a Policy:
+// "" means no override (nil — the MN's own policy applies), anything
+// else must be registered.
+func (m *Monitor) resolvePolicy(name string) (Policy, bool) {
+	if name == "" {
+		return nil, true
+	}
+	return PolicyByName(name)
+}
+
 // grantFrom runs the donor walk for recipient: find a candidate, ask its
 // agent to hot-remove and export the region, and record the RAT row. RRT
 // records can be stale: a donor may decline, in which case the MN
 // retries the next candidate (handshake-and-retry, §5.3). deleg tags the
-// row with a root delegation id when the grant backs a cross-rack lease.
-func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBase uint64, deleg int) (*Allocation, bool) {
-	for _, cand := range m.donorCandidates(recipient) {
+// row with a root delegation id when the grant backs a cross-rack lease;
+// pol, when non-nil, overrides the MN's placement policy for this walk;
+// latency tags the row latency-sensitive for the migration loop.
+func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBase uint64, deleg int, pol Policy, latency bool) (*Allocation, bool) {
+	for _, cand := range m.donorCandidates(recipient, pol) {
 		if cand.IdleBytes < size {
 			continue
 		}
@@ -348,11 +404,12 @@ func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBa
 		a := &Allocation{
 			ID: id, Kind: "memory", Donor: cand.Node, Recipient: recipient,
 			DonorBase: resp.Base, RecipientBase: windowBase,
-			Size: size, At: m.EP.Eng.Now(), Deleg: deleg,
+			Size: size, At: m.EP.Eng.Now(), Deleg: deleg, Latency: latency,
 		}
 		m.rat[id] = a
 		cand.IdleBytes -= size
 		m.emitLease(LeaseGranted, a, a.Donor)
+		m.topUpSpares()
 		return a, true
 	}
 	return nil, false
@@ -412,7 +469,7 @@ func (m *Monitor) returnRegion(p *sim.Proc, a *Allocation) {
 // onAllocDev grants a device unit on the nearest donor advertising one.
 func (m *Monitor) onAllocDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int) {
 	r := req.(*AllocDevReq)
-	for _, cand := range m.donorCandidates(from) {
+	for _, cand := range m.donorCandidates(from, nil) {
 		if cand.Devices[r.Kind] <= 0 {
 			continue
 		}

@@ -101,3 +101,128 @@ func TestPolicyNames(t *testing.T) {
 		t.Fatal("policy names wrong")
 	}
 }
+
+// TestPolicyRegistryEnumerates pins the registry as the single source of
+// truth: the sweep order every scenario and venice-bench -list read, and
+// name resolution including the prototype default.
+func TestPolicyRegistryEnumerates(t *testing.T) {
+	want := []string{"distance", "most-idle", "traffic-aware", "spread", "coolest-path"}
+	got := PolicyNames()
+	if len(got) != len(want) {
+		t.Fatalf("PolicyNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PolicyNames = %v, want %v (sweep order is frozen)", got, want)
+		}
+		pol, ok := PolicyByName(want[i])
+		if !ok || pol.Name() != want[i] {
+			t.Fatalf("PolicyByName(%q) = %v,%v", want[i], pol, ok)
+		}
+	}
+	// The empty string selects the prototype default.
+	if pol, ok := PolicyByName(""); !ok || pol.Name() != "distance" {
+		t.Fatalf("PolicyByName(\"\") = %v,%v; want distance", pol, ok)
+	}
+	if _, ok := PolicyByName("bogus"); ok {
+		t.Fatal("unknown policy name resolved")
+	}
+	// Callers mutating the returned slice must not corrupt the registry.
+	got[0] = "clobbered"
+	if PolicyNames()[0] != "distance" {
+		t.Fatal("PolicyNames exposes the registry's own slice")
+	}
+}
+
+func TestRegisterPolicyGuards(t *testing.T) {
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate registration", func() {
+		RegisterPolicy("distance", func() Policy { return DistanceFirst{} })
+	})
+	mustPanic("empty name", func() {
+		RegisterPolicy("", func() Policy { return DistanceFirst{} })
+	})
+}
+
+// TestTrafficAwareTelemetryVsBlindBranches: the same candidates order
+// differently depending on whether the View carries telemetry. Blind,
+// the donor-count proxy rules (near donor with no leases wins); with
+// telemetry, the measured path bottleneck overrides it and the proxy is
+// retired (no double counting).
+func TestTrafficAwareTelemetryVsBlindBranches(t *testing.T) {
+	load := map[fabric.NodeID]int{1: 0, 2: 3}
+	cands := func() []*Registration {
+		return []*Registration{
+			{Node: 1, IdleBytes: 1 << 30},
+			{Node: 2, IdleBytes: 1 << 30},
+		}
+	}
+	blind := synthView(nil)
+	blind.Load = load
+	cs := cands()
+	(TrafficAware{}).Choose(blind, 0, cs)
+	if cs[0].Node != 1 {
+		t.Fatalf("blind branch chose %v; want 1 (fewest live allocations)", cs[0].Node)
+	}
+	// Same shape, but the path to donor 1 measures hot: telemetry wins
+	// over the (now-retired) donor-count proxy.
+	hot := synthView(map[[2]fabric.NodeID]float64{{0, 1}: 0.9})
+	hot.Load = load
+	cs = cands()
+	(TrafficAware{}).Choose(hot, 0, cs)
+	if cs[0].Node != 2 {
+		t.Fatalf("telemetry branch chose %v; want 2 (cool path beats busy donor count)", cs[0].Node)
+	}
+}
+
+// TestTrafficAwareCommitTermBreaksTies: two equidistant donors with idle
+// paths — the one whose path carries fewer committed leases wins. This
+// is the placement-time complement to the sampling window: a grant made
+// moments ago is invisible to telemetry but already known to the MN.
+func TestTrafficAwareCommitTermBreaksTies(t *testing.T) {
+	v := synthView(map[[2]fabric.NodeID]float64{{6, 7}: 0.0}) // telemetry on, paths idle
+	v.commits = map[[2]fabric.NodeID]int{linkKey(0, 1): 2}
+	cs := []*Registration{
+		{Node: 1, IdleBytes: 1 << 30},
+		{Node: 2, IdleBytes: 1 << 30},
+	}
+	(TrafficAware{}).Choose(v, 0, cs)
+	if cs[0].Node != 2 {
+		t.Fatalf("chose %v; want 2 (no committed leases on its path)", cs[0].Node)
+	}
+}
+
+// TestCoolestPathDegradesToDistance: without telemetry every path reads
+// unknown-as-idle and the ordering is distance-first; with telemetry the
+// cooler, farther path wins.
+func TestCoolestPathDegradesToDistance(t *testing.T) {
+	// Node 6 sits 2 hops from 0 and no shortest 0->6 path crosses link
+	// 0-1 (node 1 is not on any), so heating 0-1 cannot leak onto it.
+	cands := func() []*Registration {
+		return []*Registration{
+			{Node: 1, IdleBytes: 1 << 30}, // 1 hop from 0
+			{Node: 6, IdleBytes: 1 << 30}, // 2 hops from 0
+		}
+	}
+	blind := synthView(nil)
+	cs := cands()
+	(CoolestPath{}).Choose(blind, 0, cs)
+	if cs[0].Node != 1 {
+		t.Fatalf("blind coolest-path chose %v; want nearest donor 1", cs[0].Node)
+	}
+	hot := synthView(map[[2]fabric.NodeID]float64{{0, 1}: 0.8})
+	hot.Load = map[fabric.NodeID]int{}
+	cs = cands()
+	(CoolestPath{}).Choose(hot, 0, cs)
+	if cs[0].Node != 6 {
+		t.Fatalf("hot coolest-path chose %v; want 6 behind the cool path", cs[0].Node)
+	}
+}

@@ -31,10 +31,12 @@ const (
 	kindAllocDev  = "mn.allocdev"
 	kindFreeDev   = "mn.freedev"
 
-	kindHotRemove = "agent.hotremove"
-	kindHotReturn = "agent.hotreturn"
-	kindRelocate  = "agent.relocate"
-	kindRevoke    = "agent.revoke"
+	kindHotRemove   = "agent.hotremove"
+	kindHotReturn   = "agent.hotreturn"
+	kindRelocate    = "agent.relocate"
+	kindRevoke      = "agent.revoke"
+	kindSpareCarve  = "agent.sparecarve"
+	kindSpareAttach = "agent.spareattach"
 
 	// Sharded-plane RPCs (see shard.go): sub-MN <-> root MN, and the
 	// root's delegation calls into donor-rack sub-MNs.
@@ -70,10 +72,15 @@ func (k DeviceKind) String() string {
 	}
 }
 
-// LinkProbe is one link's health as observed by an agent.
+// LinkProbe is one link's health as observed by an agent. When the
+// agent's telemetry plane is on it also carries the link's windowed
+// utilization (the busier direction) since the previous heartbeat;
+// HasUtil distinguishes a genuinely idle window from telemetry-off.
 type LinkProbe struct {
-	Peer fabric.NodeID
-	Up   bool
+	Peer    fabric.NodeID
+	Up      bool
+	Util    float64
+	HasUtil bool
 }
 
 // Heartbeat is the periodic agent report that feeds the RRT and TST.
@@ -118,6 +125,13 @@ type AllocMemReq struct {
 	// Scope is the hierarchical placement hint; flat clusters ignore it
 	// except ScopeRemoteRack, which fails (there is no other rack).
 	Scope AllocScope
+	// Policy names a registered placement policy to use for this request
+	// instead of the MN's configured one; "" keeps the MN default.
+	Policy string
+	// Latency marks the lease latency-sensitive: the migration loop
+	// relieves its path by moving bulk leases away, and never retargets
+	// the lease itself.
+	Latency bool
 }
 
 // AllocMemResp answers an AllocMemReq.
@@ -162,19 +176,29 @@ func RequestMemory(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, 
 // RequestMemoryScoped is RequestMemory with an explicit placement scope
 // (rack-local, remote-rack, or anywhere) for hierarchical planes.
 func RequestMemoryScoped(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, scope AllocScope) *AllocMemResp {
-	resp, _ := RequestMemoryOpts(p, ep, mn, size, windowBase, scope, 0)
+	resp, _ := RequestMemoryOpts(p, ep, mn, size, windowBase, MemReqOpts{Scope: scope})
 	return resp
 }
 
-// RequestMemoryOpts is RequestMemoryScoped with a bounded wait: when
-// timeout > 0 the request aborts after timeout of virtual time and
-// reports ok=false (an unreachable or wedged MN must not park the
-// requester forever). timeout <= 0 waits indefinitely, exactly like
-// RequestMemory.
-func RequestMemoryOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, scope AllocScope, timeout sim.Dur) (*AllocMemResp, bool) {
-	req := &AllocMemReq{Size: size, WindowBase: windowBase, Scope: scope}
-	if timeout > 0 {
-		raw, ok := ep.CallTimeout(p, mn, kindAllocMem, 64, req, timeout)
+// MemReqOpts carries the optional refinements of one memory request:
+// a placement scope, a per-request policy override ("" keeps the MN
+// default), the latency-sensitive traffic class, and a bounded wait
+// (Timeout <= 0 waits indefinitely).
+type MemReqOpts struct {
+	Scope   AllocScope
+	Policy  string
+	Latency bool
+	Timeout sim.Dur
+}
+
+// RequestMemoryOpts is RequestMemoryScoped with the full option set:
+// when o.Timeout > 0 the request aborts after that much virtual time
+// and reports ok=false (an unreachable or wedged MN must not park the
+// requester forever).
+func RequestMemoryOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, o MemReqOpts) (*AllocMemResp, bool) {
+	req := &AllocMemReq{Size: size, WindowBase: windowBase, Scope: o.Scope, Policy: o.Policy, Latency: o.Latency}
+	if o.Timeout > 0 {
+		raw, ok := ep.CallTimeout(p, mn, kindAllocMem, 64, req, o.Timeout)
 		if !ok {
 			return nil, false
 		}
@@ -239,6 +263,40 @@ type hotReturnReq struct {
 	Size          uint64
 }
 
+// spareCarveReq is the MN->donor-agent request to pre-plug a spare
+// region: hot-remove Size bytes now — off any grant's critical path —
+// and park them unexported, so a later failover or migration can attach
+// the region without paying the hot-plug latency.
+type spareCarveReq struct {
+	Size uint64
+}
+
+// spareCarveResp is the donor agent's answer; Base identifies the
+// parked region in later spareAttach requests.
+type spareCarveResp struct {
+	OK   bool
+	Err  string
+	Base uint64
+}
+
+// spareAttachReq is the MN->donor-agent request to export a parked
+// spare region to a recipient. The region is already hot-removed, so
+// the agent only installs the CRMA export — no hot-plug sleep.
+type spareAttachReq struct {
+	Base          uint64
+	Size          uint64
+	Recipient     fabric.NodeID
+	RecipientBase uint64
+}
+
+// spareAttachResp is the donor agent's answer. !OK means the agent no
+// longer holds the parked region (e.g. it rebooted since the carve);
+// the MN falls back to an ordinary hot-remove.
+type spareAttachResp struct {
+	OK  bool
+	Err string
+}
+
 // relocateReq is the MN->recipient-agent notice that a lease's donor has
 // been replaced: the agent retargets the window's RAMT entry at the new
 // donor and replays every in-flight access that was addressed to the old
@@ -279,6 +337,12 @@ type rackBeat struct {
 	Sub       fabric.NodeID
 	IdleBytes uint64 // sum of the rack's live RRT idle bytes
 	Live      int    // live nodes in the rack
+	// MaxUtil aggregates the rack's telemetry one level up: the hottest
+	// windowed link utilization any rack agent reported. HasUtil is false
+	// until telemetry-enabled agents report, so the zero value keeps the
+	// telemetry-off protocol byte-identical.
+	MaxUtil float64
+	HasUtil bool
 }
 
 // rackBorrowReq is a sub-MN's escalation to the root MN: its rack
@@ -289,6 +353,8 @@ type rackBorrowReq struct {
 	Recipient  fabric.NodeID
 	Size       uint64
 	WindowBase uint64
+	Policy     string // per-request policy override, forwarded to the donor rack
+	Latency    bool   // latency-sensitive class, forwarded to the donor rack
 }
 
 // rackBorrowResp answers a rackBorrowReq.
@@ -341,6 +407,8 @@ type delegateReq struct {
 	Recipient  fabric.NodeID
 	Size       uint64
 	WindowBase uint64
+	Policy     string // per-request policy override for the donor walk
+	Latency    bool   // latency-sensitive class for the granted row
 }
 
 // delegateResp answers a delegateReq.

@@ -91,6 +91,11 @@ func (m *Monitor) sweep(p *sim.Proc) {
 	if m.HasUpstream {
 		m.retryRackFrees(p)
 	}
+	// Spare-pool upkeep (no-ops unless EnableSparePool ran): drop pool
+	// entries whose donor died or rebooted, then replace consumed or
+	// pruned spares asynchronously.
+	m.pruneSpares()
+	m.topUpSpares()
 }
 
 // retryPendingNotices redelivers relocate/revoke notices whose first
@@ -275,43 +280,36 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 	t0 := m.EP.Eng.Now()
 	oldDonor, oldBase := a.Donor, a.DonorBase
 	oldInc := m.incarnationOf(oldDonor)
-	for _, cand := range m.donorCandidates(a.Recipient) {
-		if cand.Node == oldDonor || cand.IdleBytes < a.Size || !m.NodeAlive(cand.Node) {
+	for _, cand := range m.donorCandidates(a.Recipient, nil) {
+		if cand.Node == oldDonor || !m.NodeAlive(cand.Node) {
 			continue
 		}
-		hr := &hotRemoveReq{Size: a.Size, Recipient: a.Recipient, RecipientBase: a.RecipientBase}
-		inc := m.incarnationOf(cand.Node)
-		raw, ok := m.EP.CallTimeout(p, cand.Node, kindHotRemove, 64, hr, m.GrantTimeout)
+		// A donor whose RRT idle account ran dry can still back the lease
+		// from a pre-plugged spare (the spare's bytes were debited from the
+		// account when they were carved).
+		if cand.IdleBytes < a.Size && !m.hasSpare(cand.Node, a.Size) {
+			continue
+		}
+		base, viaSpare, ok := m.replacementRegion(p, cand, a)
 		if !ok {
-			// Same lost-ACK uncertainty as the grant path: park a
-			// key-resolved cancellation so a performed-but-unacked
-			// hot-remove cannot leak the candidate's region.
-			m.Stats.Add("recover.grant_timeouts", 1)
-			m.queueOrphan(cand.Node, inc, &hotReturnReq{Recipient: a.Recipient, RecipientBase: a.RecipientBase})
-			cand.IdleBytes = 0
 			continue
 		}
-		resp := raw.(*hotRemoveResp)
-		if !resp.OK {
-			m.Stats.Add("recover.retries", 1)
-			cand.IdleBytes = 0
-			continue
-		}
-		// The hot-remove blocked for milliseconds; the lease can have been
-		// freed (or reclaimed by another recovery step) in the meantime.
-		// If the row is gone, the freshly hot-removed replacement region
-		// must go straight back or it leaks untracked on the new donor.
+		// The region acquisition blocked (2 ms for a hot-remove, a round
+		// trip for a spare attach); the lease can have been freed (or
+		// reclaimed by another recovery step) in the meantime. If the row
+		// is gone, the fresh replacement region must go straight back or
+		// it leaks untracked on the new donor.
 		if _, live := m.rat[a.ID]; !live {
-			m.undoReplacement(p, cand, a, resp.Base)
+			m.undoReplacement(p, cand, a, base)
 			m.Stats.Add("recover.raced_free", 1)
 			return
 		}
 		rel := &relocateReq{
 			AllocID: a.ID, RecipientBase: a.RecipientBase, Size: a.Size,
-			OldDonor: oldDonor, NewDonor: cand.Node, NewDonorBase: resp.Base,
+			OldDonor: oldDonor, NewDonor: cand.Node, NewDonorBase: base,
 		}
 		recipientInc := m.incarnationOf(a.Recipient)
-		raw, ok = m.EP.CallTimeout(p, a.Recipient, kindRelocate, 64, rel, m.GrantTimeout)
+		raw, ok := m.EP.CallTimeout(p, a.Recipient, kindRelocate, 64, rel, m.GrantTimeout)
 		switch {
 		case !ok:
 			// The notice was lost — the recipient may be mid-crash, or a
@@ -329,7 +327,7 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 			// relocate was in flight): drop the row and take the
 			// replacement region back.
 			delete(m.rat, a.ID)
-			m.undoReplacement(p, cand, a, resp.Base)
+			m.undoReplacement(p, cand, a, base)
 			m.Stats.Add("recover.raced_free", 1)
 			return
 		default:
@@ -337,9 +335,12 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 			// row is superseded.
 			delete(m.pendingRelocates, a.ID)
 		}
-		a.Donor, a.DonorBase = cand.Node, resp.Base
+		a.Donor, a.DonorBase = cand.Node, base
 		a.At = m.EP.Eng.Now()
-		cand.IdleBytes -= a.Size
+		if !viaSpare {
+			// A spare's bytes were already debited at carve time.
+			cand.IdleBytes -= a.Size
+		}
 		if !rebooted {
 			m.queueOrphan(oldDonor, oldInc, &hotReturnReq{
 				Recipient: a.Recipient, RecipientBase: a.RecipientBase,

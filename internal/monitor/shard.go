@@ -43,6 +43,11 @@ type RackStatus struct {
 	LastBeat  sim.Time
 	Beats     int64
 	Dead      bool
+	// MaxUtil/HasUtil carry the rack's aggregated telemetry: the hottest
+	// windowed link utilization any of its agents reported (absent until
+	// telemetry-enabled agents beat).
+	MaxUtil float64
+	HasUtil bool
 }
 
 // Delegation is one row of the root MN's delegation table: a lease
@@ -59,6 +64,7 @@ type Delegation struct {
 	RecipientBase uint64
 	Size          uint64
 	At            sim.Time
+	Latency       bool // latency-sensitive class, preserved across re-delegation
 }
 
 // Root is the root Monitor Node of a sharded plane. It brokers nothing
@@ -200,6 +206,7 @@ func (rt *Root) onRackBeat(_ *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	rs.Sub = b.Sub
 	rs.IdleBytes = b.IdleBytes
 	rs.Live = b.Live
+	rs.MaxUtil, rs.HasUtil = b.MaxUtil, b.HasUtil
 	rs.LastBeat = rt.EP.Eng.Now()
 	rs.Beats++
 	rt.Stats.Add("root.rackbeats", 1)
@@ -207,8 +214,11 @@ func (rt *Root) onRackBeat(_ *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 }
 
 // donorRacks orders candidate donor racks for a request from exclude:
-// live racks with enough aggregate idle memory, most-idle first (rack id
-// breaks ties, keeping elections deterministic).
+// live racks with enough aggregate idle memory. With rack telemetry the
+// coolest rack wins first (a saturated rack fabric makes a poor donor
+// no matter how much memory idles behind it); without it — including
+// every telemetry-off configuration, byte-identically — most-idle
+// first. Rack id breaks ties, keeping elections deterministic.
 func (rt *Root) donorRacks(exclude int, size uint64) []*RackStatus {
 	var cands []*RackStatus
 	for _, rs := range rt.racks {
@@ -217,7 +227,16 @@ func (rt *Root) donorRacks(exclude int, size uint64) []*RackStatus {
 		}
 		cands = append(cands, rs)
 	}
+	util := func(rs *RackStatus) float64 {
+		if rs.HasUtil {
+			return rs.MaxUtil
+		}
+		return 0
+	}
 	sort.Slice(cands, func(i, j int) bool {
+		if ui, uj := util(cands[i]), util(cands[j]); ui != uj {
+			return ui < uj
+		}
 		if cands[i].IdleBytes != cands[j].IdleBytes {
 			return cands[i].IdleBytes > cands[j].IdleBytes
 		}
@@ -241,8 +260,8 @@ const rootBorrowCandidates = 2
 // registry's idle-byte account. Shared by the borrow election and
 // rack-death re-delegation so decline/timeout handling cannot drift
 // between them.
-func (rt *Root) delegateTo(p *sim.Proc, rs *RackStatus, delegID int, recipient fabric.NodeID, size, windowBase uint64) (*delegateResp, bool) {
-	req := &delegateReq{DelegID: delegID, Recipient: recipient, Size: size, WindowBase: windowBase}
+func (rt *Root) delegateTo(p *sim.Proc, rs *RackStatus, delegID int, recipient fabric.NodeID, size, windowBase uint64, policy string, latency bool) (*delegateResp, bool) {
+	req := &delegateReq{DelegID: delegID, Recipient: recipient, Size: size, WindowBase: windowBase, Policy: policy, Latency: latency}
 	raw, ok := rt.EP.CallTimeout(p, rs.Sub, kindDelegate, 64, req, rt.delegateTimeout())
 	if !ok {
 		// The sub may have granted and lost the response; park a
@@ -278,7 +297,7 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		if tried >= rootBorrowCandidates {
 			break
 		}
-		resp, ok := rt.delegateTo(p, rs, id, r.Recipient, r.Size, r.WindowBase)
+		resp, ok := rt.delegateTo(p, rs, id, r.Recipient, r.Size, r.WindowBase, r.Policy, r.Latency)
 		if !ok {
 			continue
 		}
@@ -286,7 +305,7 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 			ID: id, DonorRack: rs.Rack, RecipientRack: r.Rack,
 			SubAllocID: resp.AllocID, Donor: resp.Donor,
 			Recipient: r.Recipient, RecipientBase: r.WindowBase,
-			Size: r.Size, At: rt.EP.Eng.Now(),
+			Size: r.Size, At: rt.EP.Eng.Now(), Latency: r.Latency,
 		}
 		if rt.cancelled[key] {
 			// The requesting sub gave up and cancelled while this
@@ -547,7 +566,7 @@ func (rt *Root) redelegateRack(p *sim.Proc, dead int) {
 		oldDonor := d.Donor
 		moved := false
 		for _, rs := range rt.donorRacks(dead, d.Size) {
-			resp, ok := rt.delegateTo(p, rs, d.ID, d.Recipient, d.Size, d.RecipientBase)
+			resp, ok := rt.delegateTo(p, rs, d.ID, d.Recipient, d.Size, d.RecipientBase, "", d.Latency)
 			if !ok {
 				continue
 			}
@@ -663,7 +682,9 @@ func (m *Monitor) StartRackBeat(root fabric.NodeID, rack int, interval sim.Dur) 
 // (escalation stays enabled).
 func (m *Monitor) StopRackBeat() { m.rackBeatOn = false }
 
-// sendRackBeat sends one rack-level report to the root MN.
+// sendRackBeat sends one rack-level report to the root MN, aggregating
+// the rack's telemetry (hottest reported link window) one level up so
+// the root scales with racks, not links.
 func (m *Monitor) sendRackBeat(p *sim.Proc, interval sim.Dur) {
 	var idle uint64
 	live := 0
@@ -674,6 +695,14 @@ func (m *Monitor) sendRackBeat(p *sim.Proc, interval sim.Dur) {
 		}
 	}
 	b := &rackBeat{Rack: m.Rack, Sub: m.EP.ID, IdleBytes: idle, Live: live}
+	for _, s := range m.tst {
+		if s.HasUtil {
+			b.HasUtil = true
+			if s.Util > b.MaxUtil {
+				b.MaxUtil = s.Util
+			}
+		}
+	}
 	if _, ok := m.EP.CallTimeout(p, m.Upstream, kindRackBeat, 64, b, interval); !ok {
 		m.Stats.Add("rackbeats.lost", 1)
 	}
@@ -690,7 +719,7 @@ func (m *Monitor) borrowTimeout() sim.Dur { return 8 * m.GrantTimeout }
 // on success, records the recipient-facing alloc-id → delegation-id
 // mapping so the lease frees through the same FreeMemory call path.
 func (m *Monitor) escalate(p *sim.Proc, from fabric.NodeID, r *AllocMemReq) *AllocMemResp {
-	req := &rackBorrowReq{Rack: m.Rack, Recipient: from, Size: r.Size, WindowBase: r.WindowBase}
+	req := &rackBorrowReq{Rack: m.Rack, Recipient: from, Size: r.Size, WindowBase: r.WindowBase, Policy: r.Policy, Latency: r.Latency}
 	raw, ok := m.EP.CallTimeout(p, m.Upstream, kindRackBorrow, 64, req, m.borrowTimeout())
 	if !ok {
 		// The response is lost (or the root outran our patience, which
@@ -768,7 +797,12 @@ func (m *Monitor) retryRackFrees(p *sim.Proc) {
 // normal donor walk, for a recipient outside this rack.
 func (m *Monitor) onDelegate(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	r := req.(*delegateReq)
-	a, ok := m.grantFrom(p, r.Recipient, r.Size, r.WindowBase, r.DelegID)
+	pol, ok := m.resolvePolicy(r.Policy)
+	if !ok {
+		m.Stats.Add("delegate.declined", 1)
+		return &delegateResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 64
+	}
+	a, ok := m.grantFrom(p, r.Recipient, r.Size, r.WindowBase, r.DelegID, pol, r.Latency)
 	if !ok {
 		m.Stats.Add("delegate.declined", 1)
 		return &delegateResp{OK: false, Err: "no rack donor"}, 64

@@ -52,6 +52,11 @@ type ChurnConfig struct {
 	Policy string
 	// Fault selects the churn intensity (default FaultNone).
 	Fault FaultRate
+	// SparePool pre-plugs one lease-sized spare region per donor: the
+	// carve's hot-remove happens when the pool fills (off the serving
+	// path), so a failover's replacement grant skips the ~2 ms hot-plug
+	// and recovery latency collapses to the control-plane round trips.
+	SparePool bool
 	// Seed drives the arrival and offset streams (the shard axis).
 	// Chaos instants derive from a fixed internal seed so every shard of
 	// a cell sees the same fault history.
@@ -172,7 +177,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		leases = 2
 	}
 
-	cl := core.NewCluster(core.Config{
+	ccfg := core.Config{
 		Topology:          &topo,
 		StartAgents:       true,
 		StartRecovery:     true,
@@ -180,7 +185,14 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		HeartbeatTimeout:  churnBeatTimeout,
 		SweepInterval:     churnSweep,
 		Seed:              churnClusterSeed,
-	})
+	}
+	if cfg.SparePool {
+		// One spare per lease the server holds: a crashed donor can back
+		// every lease it carried, so no failover in the burst goes cold.
+		ccfg.SpareRegionBytes = churnLeaseBytes
+		ccfg.SparesPerDonor = leases
+	}
+	cl := core.NewCluster(ccfg)
 	defer cl.Close()
 	cl.MN.Policy = pol
 	// The MN must never be elected donor: its death model (and the

@@ -57,6 +57,17 @@ type Config struct {
 	// lease — the serving tier's and the tenants' (Tier only;
 	// "" = the prototype's distance-first).
 	Policy string
+	// Telemetry enables the windowed link-utilization plane (Tier
+	// only): agents beat every tierTelemetryBeat instead of staying
+	// silent for the run, each beat carrying per-link recent
+	// utilization, so telemetry-aware policies and the migration loop
+	// see where traffic actually flows.
+	Telemetry bool
+	// Migrate starts the MN's lease-migration loop (Tier only; needs
+	// Telemetry to ever observe a hot path): a lease serving through a
+	// saturated path is retargeted to a cooler donor mid-run, reads
+	// replaying transparently through the CRMA window.
+	Migrate bool
 	// Racks and RackNodes shape the hierarchical fabric (Scale only):
 	// Racks racks of RackNodes-node meshes (8, 16, or 32 per rack)
 	// behind an oversubscribed spine.
@@ -121,6 +132,24 @@ const (
 	tenantLeaseBytes = 48 << 20
 	tenantReadBytes  = 2048
 	tenantThinkMaxNS = 4000
+
+	// Telemetry-plane cadence (Tier cells with Telemetry set): the beat
+	// must be much shorter than the measured window for utilization to
+	// resolve mid-run hotspots, and the migration loop a couple of
+	// beats so it acts on fresh samples. The hot threshold and required
+	// cool-down are sized to the scenario's telemetry scale — 2 KiB
+	// reads on multi-GB/s links leave single-digit-percent utilization
+	// even on a contended uplink, so "hot" here means a link carrying
+	// several co-located flows, not a saturated one.
+	tierTelemetryBeat = 250 * sim.Microsecond
+	tierMigrateEvery  = 500 * sim.Microsecond
+	tierMigrateUtil   = 0.10
+	tierMigrateMargin = 0.07
+	// tierMigrateSettle is the pause between the tenants lighting up and
+	// calibration when the migration loop is on: one telemetry window to
+	// see the new traffic, one scan to react, and slack for the move —
+	// the settling time any closed-loop placer needs after load shifts.
+	tierMigrateSettle = 4 * sim.Millisecond
 )
 
 // request is one queued unit of offered load.
@@ -292,8 +321,20 @@ func runTier(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("serving: tier workload needs >= 4 nodes for donor diversity, got %d", nodes)
 	}
 	p := sim.Default()
-	cl := core.NewCluster(core.Config{Params: &p, Topology: &topo, StartAgents: true,
-		Seed: tierClusterSeed, HeartbeatInterval: 30 * sim.Second})
+	// The baseline runs with agents effectively silent (one beat during
+	// warm-up populates the RRT); the telemetry plane needs live beats.
+	ccfg := core.Config{Params: &p, Topology: &topo, StartAgents: true,
+		Seed: tierClusterSeed, HeartbeatInterval: 30 * sim.Second}
+	if cfg.Telemetry {
+		ccfg.Telemetry = true
+		ccfg.HeartbeatInterval = tierTelemetryBeat
+	}
+	if cfg.Migrate {
+		ccfg.MigrateInterval = tierMigrateEvery
+		ccfg.MigrateUtil = tierMigrateUtil
+		ccfg.MigrateMargin = tierMigrateMargin
+	}
+	cl := core.NewCluster(ccfg)
 	defer cl.Close()
 	cl.MN.Policy = pol
 	cl.RunFor(1 * sim.Second) // populate the RRT
@@ -337,8 +378,11 @@ func runTier(cfg Config) (*Result, error) {
 		// remote window, placed by the same policy.
 		cache := workloads.NewRedisCache(app.Mem, tierValueBytes)
 		cache.AddArena(workloads.NewArena(tierLocalBase, tierLocalBytes))
+		// The cache window carries the measured query path's fill traffic:
+		// latency-sensitive, so the migration loop (when on) clears bulk
+		// tenants off its links instead of ever pausing the cache itself.
 		lease, err := cl.Acquire(pr, core.NewRequest(core.Memory, app, tierCacheLease,
-			core.WithRetry(borrowRetry)))
+			core.WithRetry(borrowRetry), core.WithLatencySensitive()))
 		if err != nil {
 			runErr = fmt.Errorf("serving: cache lease: %w", err)
 			stop = true
@@ -355,6 +399,9 @@ func runTier(cfg Config) (*Result, error) {
 		// co-location the measured phase will see.
 		db.RunQueries(pr, sim.NewRNG(tierWarmSeed), tierKeys, tierKeys*tierWarmPasses)
 		startTenants()
+		if cfg.Migrate {
+			pr.Sleep(tierMigrateSettle)
+		}
 		calZipf := sim.NewZipf(sim.NewRNG(tierCalSeed), tierKeys, tierZipfTheta)
 		t0 := pr.Now()
 		for j := 0; j < tierCalibration; j++ {
