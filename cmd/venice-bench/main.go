@@ -32,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -52,9 +54,11 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.01, "allowed relative drift per metric with -baseline")
 	trialFilter := flag.String("trial", "", "run only trials whose id contains this substring (prints raw metrics, skips assembly)")
 	seedOverride := flag.Uint64("seed", 0, "override the seed of every selected trial (use with -trial to reproduce one cell)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (pprof format) to this file at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: venice-bench [-list] [-run id,id] [-parallel N] [-json out.json] [-baseline base.json] [-tolerance f] [-trial substr] [-seed N] [id ...]\n")
+			"usage: venice-bench [-list] [-run id,id] [-parallel N] [-json out.json] [-baseline base.json] [-tolerance f] [-trial substr] [-seed N] [-cpuprofile f] [-memprofile f] [id ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +80,18 @@ func main() {
 		return
 	}
 
+	// Profiles flush through exit: os.Exit skips defers, so every
+	// termination path below goes through it.
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "venice-bench: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	ids := flag.Args()
 	for _, id := range strings.Split(*runIDs, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -92,9 +108,9 @@ func main() {
 		// rather than let a script mistake exit 0 for a passed gate.
 		if *jsonPath != "" || *baseline != "" {
 			fmt.Fprintf(os.Stderr, "venice-bench: -json/-baseline cannot be combined with -trial/-seed (isolation mode has no assembled report)\n")
-			os.Exit(2)
+			exit(2)
 		}
-		os.Exit(runIsolated(ids, *trialFilter, *seedOverride, seedSet, opts))
+		exit(runIsolated(ids, *trialFilter, *seedOverride, seedSet, opts))
 	}
 	var results []*harness.Result
 	start := time.Now()
@@ -102,7 +118,7 @@ func main() {
 		art, res, err := harness.RunID(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "venice-bench: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		results = append(results, res)
 		fmt.Println(art.String())
@@ -112,14 +128,14 @@ func main() {
 	if *jsonPath != "" {
 		if err := rep.WriteFile(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "venice-bench: writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if *baseline != "" {
 		base, err := harness.LoadReport(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "venice-bench: loading baseline: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		drifts := rep.CompareToBaseline(base, *tolerance)
 		if len(drifts) > 0 {
@@ -128,11 +144,52 @@ func main() {
 			for _, d := range drifts {
 				fmt.Fprintf(os.Stderr, "  %s\n", d)
 			}
-			os.Exit(3)
+			exit(3)
 		}
 		fmt.Printf("baseline check: %d metrics within %.2f%% of %s\n",
 			rep.MetricCount(), 100**tolerance, *baseline)
 	}
+	stopProfiles()
+}
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and
+// returns a stop that flushes it and, when mem is non-empty, writes a
+// heap profile. The stop is never nil and is safe to call once on any
+// exit path.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "venice-bench: closing -cpuprofile: %v\n", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "venice-bench: creating -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "venice-bench: writing -memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "venice-bench: closing -memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 // runIsolated executes the selected trials alone — filtered by id

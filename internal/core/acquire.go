@@ -100,7 +100,7 @@ func (c *HierCluster) acquireOnce(p *sim.Proc, r Request) (Lease, error) {
 func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, scoped bool, hub *eventHub) (Lease, error) {
 	win := r.On.NextHotplugWindow(r.Size)
 	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, win,
-		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout})
+		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout, Trace: r.trace})
 	if !ok {
 		return nil, fmt.Errorf("core: borrow %d bytes: %w", r.Size, ErrTimeout)
 	}
@@ -118,8 +118,8 @@ func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.Alloc
 		monitor.FreeMemory(p, r.On.EP, mn, resp.AllocID)
 		return nil, err
 	}
-	lease.kind, lease.allocID, lease.mn, lease.hub = Memory, resp.AllocID, mn, hub
-	emitGranted(hub, p, Memory, r.On.ID, resp.Donor, r.Size, win)
+	lease.kind, lease.allocID, lease.mn, lease.hub, lease.trace = Memory, resp.AllocID, mn, hub, r.trace
+	emitGranted(hub, p, Memory, r.On.ID, resp.Donor, r.Size, win, r.trace)
 	return lease, nil
 }
 
@@ -127,7 +127,7 @@ func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.Alloc
 // remote-swap block device.
 func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, hub *eventHub) (Lease, error) {
 	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, 0,
-		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout})
+		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout, Trace: r.trace})
 	if !ok {
 		return nil, fmt.Errorf("core: borrow swap %d bytes: %w", r.Size, ErrTimeout)
 	}
@@ -145,8 +145,9 @@ func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocSc
 		allocID: resp.AllocID,
 		mn:      mn,
 		hub:     hub,
+		trace:   r.trace,
 	}
-	emitGranted(hub, p, Swap, r.On.ID, resp.Donor, r.Size, 0)
+	emitGranted(hub, p, Swap, r.On.ID, resp.Donor, r.Size, 0, r.trace)
 	return lease, nil
 }
 
@@ -154,7 +155,8 @@ func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocSc
 // the requested mailbox on the chosen donor. The donor must be running
 // an accel.Service (its agent advertises the device count).
 func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, nodes []*node.Node, hub *eventHub) (Lease, error) {
-	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevAccelerator, r.timeout)
+	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevAccelerator,
+		monitor.DevReqOpts{Timeout: r.timeout, Trace: r.trace})
 	if !ok {
 		return nil, fmt.Errorf("core: attach accelerator: %w", ErrTimeout)
 	}
@@ -169,15 +171,17 @@ func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, nodes []*node.Node, 
 		allocID:   resp.AllocID,
 		mn:        mn,
 		hub:       hub,
+		trace:     r.trace,
 	}
-	emitGranted(hub, p, Accel, r.On.ID, resp.Donor, 1, 0)
+	emitGranted(hub, p, Accel, r.On.ID, resp.Donor, 1, 0, r.trace)
 	return lease, nil
 }
 
 // acquireNIC asks mn for a remote NIC and builds the VNIC path to the
 // chosen donor's physical NIC (created here on its behalf).
 func acquireNIC(p *sim.Proc, r Request, mn fabric.NodeID, eng *sim.Engine, params *sim.Params, nodes []*node.Node, hub *eventHub) (Lease, error) {
-	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevNIC, r.timeout)
+	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevNIC,
+		monitor.DevReqOpts{Timeout: r.timeout, Trace: r.trace})
 	if !ok {
 		return nil, fmt.Errorf("core: attach NIC: %w", ErrTimeout)
 	}
@@ -194,8 +198,9 @@ func acquireNIC(p *sim.Proc, r Request, mn fabric.NodeID, eng *sim.Engine, param
 		allocID:   resp.AllocID,
 		mn:        mn,
 		hub:       hub,
+		trace:     r.trace,
 	}
-	emitGranted(hub, p, NIC, r.On.ID, resp.Donor, 1, 0)
+	emitGranted(hub, p, NIC, r.On.ID, resp.Donor, 1, 0, r.trace)
 	return lease, nil
 }
 
@@ -208,23 +213,23 @@ func acquireDirect(p *sim.Proc, r Request, hub *eventHub) (Lease, error) {
 		if err != nil {
 			return nil, err
 		}
-		lease.hub = hub
-		emitGranted(hub, p, DirectMemory, r.On.ID, r.donor.ID, r.Size, lease.WindowBase)
+		lease.hub, lease.trace = hub, r.trace
+		emitGranted(hub, p, DirectMemory, r.On.ID, r.donor.ID, r.Size, lease.WindowBase, r.trace)
 		return lease, nil
 	}
 	lease, err := attachSwapDirect(p, r.On, r.donor, r.Size)
 	if err != nil {
 		return nil, err
 	}
-	lease.hub = hub
-	emitGranted(hub, p, DirectSwap, r.On.ID, r.donor.ID, r.Size, 0)
+	lease.hub, lease.trace = hub, r.trace
+	emitGranted(hub, p, DirectSwap, r.On.ID, r.donor.ID, r.Size, 0, r.trace)
 	return lease, nil
 }
 
 // emitGranted announces a successful grant on the plane's stream.
-func emitGranted(hub *eventHub, p *sim.Proc, kind Kind, recipient, donor fabric.NodeID, size, window uint64) {
+func emitGranted(hub *eventHub, p *sim.Proc, kind Kind, recipient, donor fabric.NodeID, size, window uint64, trace uint64) {
 	hub.emit(Event{
-		Type: LeaseGranted, Kind: kind, At: p.Now(),
+		Type: LeaseGranted, Kind: kind, At: p.Now(), Trace: trace,
 		Recipient: recipient, Donor: donor, Size: size, Window: window,
 	})
 }

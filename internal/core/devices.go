@@ -22,7 +22,11 @@ type AccelLease struct {
 	allocID int
 	mn      fabric.NodeID
 	hub     *eventHub
+	trace   uint64
 }
+
+// Trace reports the lease's trace id (see Lease.Trace).
+func (l *AccelLease) Trace() uint64 { return l.trace }
 
 // Kind reports Accel.
 func (l *AccelLease) Kind() Kind { return Accel }
@@ -43,7 +47,7 @@ func (l *AccelLease) Release(p *sim.Proc) {
 	monitor.FreeDevice(p, l.Recipient.EP, l.mn, l.allocID)
 	if l.hub != nil {
 		l.hub.emit(Event{
-			Type: LeaseReleased, Kind: Accel, At: p.Now(),
+			Type: LeaseReleased, Kind: Accel, At: p.Now(), Trace: l.trace,
 			Recipient: l.Recipient.ID, Donor: l.donor.ID, Size: 1,
 		})
 	}
@@ -60,7 +64,11 @@ type NICLease struct {
 	allocID int
 	mn      fabric.NodeID
 	hub     *eventHub
+	trace   uint64
 }
+
+// Trace reports the lease's trace id (see Lease.Trace).
+func (l *NICLease) Trace() uint64 { return l.trace }
 
 // Kind reports NIC.
 func (l *NICLease) Kind() Kind { return NIC }
@@ -80,7 +88,7 @@ func (l *NICLease) Release(p *sim.Proc) {
 	monitor.FreeDevice(p, l.Recipient.EP, l.mn, l.allocID)
 	if l.hub != nil {
 		l.hub.emit(Event{
-			Type: LeaseReleased, Kind: NIC, At: p.Now(),
+			Type: LeaseReleased, Kind: NIC, At: p.Now(), Trace: l.trace,
 			Recipient: l.Recipient.ID, Donor: l.donor.ID, Size: 1,
 		})
 	}

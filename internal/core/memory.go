@@ -32,7 +32,11 @@ type MemoryLease struct {
 	region  *memsys.Region
 	entry   *transport.RAMTEntry
 	hub     *eventHub
+	trace   uint64
 }
+
+// Trace reports the lease's trace id (see Lease.Trace).
+func (l *MemoryLease) Trace() uint64 { return l.trace }
 
 // Kind reports how the lease was acquired (Memory or DirectMemory).
 func (l *MemoryLease) Kind() Kind { return l.kind }
@@ -102,7 +106,7 @@ func (l *MemoryLease) Release(p *sim.Proc) {
 	p.Sleep(l.Recipient.P.HotplugOp)
 	if l.hub != nil {
 		l.hub.emit(Event{
-			Type: LeaseReleased, Kind: l.kind, At: p.Now(),
+			Type: LeaseReleased, Kind: l.kind, At: p.Now(), Trace: l.trace,
 			Recipient: l.Recipient.ID, Donor: l.donor,
 			Size: l.Size, Window: l.WindowBase,
 		})

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/fabric"
@@ -45,22 +47,43 @@ const (
 
 // String names the kind.
 func (k Kind) String() string {
-	switch k {
-	case Memory:
-		return "memory"
-	case Swap:
-		return "swap"
-	case Accel:
-		return "accelerator"
-	case NIC:
-		return "nic"
-	case DirectMemory:
-		return "direct-memory"
-	case DirectSwap:
-		return "direct-swap"
-	default:
-		return fmt.Sprintf("kind(%d)", int(k))
+	if name, ok := kindNames[k]; ok {
+		return name
 	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// kindNames maps every valid kind onto its String form; it is the
+// single source the JSON codec round-trips through.
+var kindNames = map[Kind]string{
+	Memory: "memory", Swap: "swap", Accel: "accelerator", NIC: "nic",
+	DirectMemory: "direct-memory", DirectSwap: "direct-swap",
+}
+
+// MarshalJSON serializes the kind as its String name, so wire consumers
+// (the venice-serve SSE stream) never see a bare enum int whose value
+// could drift when kinds are added.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	name, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("core: cannot marshal unknown kind %d", int(k))
+	}
+	return []byte(`"` + name + `"`), nil
+}
+
+// UnmarshalJSON parses the String form MarshalJSON writes.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("core: kind must be a JSON string, got %s", b)
+	}
+	name := string(b[1 : len(b)-1])
+	for kk, nm := range kindNames {
+		if nm == name {
+			*k = kk
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown kind %q", name)
 }
 
 // memoryKind reports whether k leases bytes (as opposed to a device
@@ -110,6 +133,10 @@ type Request struct {
 	retry     RetryPolicy
 	policy    string
 	latency   bool
+
+	// trace is the lease trace id acquireWithRetry mints before the
+	// first attempt; every event of the resulting lease carries it.
+	trace uint64
 }
 
 // Option refines a Request.
@@ -300,6 +327,11 @@ type Lease interface {
 	// Leases with no recipient window — swap before Mount, devices —
 	// report base 0 (and, for devices, size 0).
 	Window() (base, size uint64)
+	// Trace reports the lease's trace id (minted when its Acquire
+	// started): the key every lifecycle event of this lease carries on
+	// the plane's Observe stream, and the span-chain handle
+	// observability layers index by.
+	Trace() uint64
 }
 
 // Plane is the single acquisition surface both cluster shapes
@@ -348,68 +380,122 @@ const (
 	LeaseMigrated
 )
 
-// String names the event type.
-func (t EventType) String() string {
-	switch t {
-	case LeaseGranted:
-		return "granted"
-	case LeaseReleased:
-		return "released"
-	case LeaseRevoked:
-		return "revoked"
-	case LeaseFailedOver:
-		return "failed-over"
-	case LeaseAcquireFailed:
-		return "acquire-failed"
-	case LeaseMigrated:
-		return "migrated"
-	default:
-		return "unknown"
-	}
+// eventTypeNames maps every event type onto its String form; it is the
+// single source the JSON codec round-trips through.
+var eventTypeNames = map[EventType]string{
+	LeaseGranted: "granted", LeaseReleased: "released", LeaseRevoked: "revoked",
+	LeaseFailedOver: "failed-over", LeaseAcquireFailed: "acquire-failed",
+	LeaseMigrated: "migrated",
 }
 
-// Event is one lease-lifecycle transition on a plane.
+// String names the event type.
+func (t EventType) String() string {
+	if name, ok := eventTypeNames[t]; ok {
+		return name
+	}
+	return "unknown"
+}
+
+// MarshalJSON serializes the event type as its String name — the stable
+// wire form the SSE stream and trace store expose (a bare enum int
+// would silently renumber if types were ever reordered).
+func (t EventType) MarshalJSON() ([]byte, error) {
+	name, ok := eventTypeNames[t]
+	if !ok {
+		return nil, fmt.Errorf("core: cannot marshal unknown event type %d", int(t))
+	}
+	return []byte(`"` + name + `"`), nil
+}
+
+// UnmarshalJSON parses the String form MarshalJSON writes.
+func (t *EventType) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("core: event type must be a JSON string, got %s", b)
+	}
+	name := string(b[1 : len(b)-1])
+	for tt, nm := range eventTypeNames {
+		if nm == name {
+			*t = tt
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown event type %q", name)
+}
+
+// Event is one lease-lifecycle transition on a plane. The JSON form is
+// stable: enums marshal as their String names and field keys are the
+// snake_case tags below — the contract venice-serve's /events stream
+// and /trace spans are published under.
 type Event struct {
-	Type EventType
+	Type EventType `json:"type"`
 	// Kind is the resource class. Events forwarded from monitor
 	// recovery (revoked, failed-over) cannot tell Memory from Swap —
 	// the MN accounts both as memory rows — and report Memory for both;
 	// DirectMemory/DirectSwap likewise surface their own recovery only
 	// through core (direct leases are invisible to the MN).
-	Kind Kind
-	At   sim.Time
+	Kind Kind     `json:"kind"`
+	At   sim.Time `json:"at_ns"`
+	// Trace is the lease's trace id, minted when its Acquire started and
+	// carried by every later transition of the same lease (through the
+	// MN's allocation row for brokered leases), so one lease's
+	// acquire→grant→migrate→failover→release history is a queryable span
+	// chain. 0 only for events predating the id (never on this surface).
+	Trace uint64 `json:"trace"`
 	// Recipient and Donor identify the lease's endpoints; for
 	// failed-over events Donor is the new donor and OldDonor the one it
 	// replaced.
-	Recipient fabric.NodeID
-	Donor     fabric.NodeID
-	OldDonor  fabric.NodeID
+	Recipient fabric.NodeID `json:"recipient"`
+	Donor     fabric.NodeID `json:"donor"`
+	OldDonor  fabric.NodeID `json:"old_donor,omitempty"`
 	// Size is the lease size in bytes (device leases: 1).
-	Size uint64
+	Size uint64 `json:"size"`
 	// Window is the recipient-side window base, when the lease has one.
-	Window uint64
+	Window uint64 `json:"window,omitempty"`
 	// Err carries the failure for acquire-failed events.
-	Err string
+	Err string `json:"err,omitempty"`
 }
 
 // Observer consumes plane events.
 type Observer func(Event)
 
-// eventHub fans plane events out to registered observers.
+// eventHub fans plane events out to registered observers. Registration,
+// cancellation, and emission are all mutation-safe: emit walks a
+// point-in-time copy of the list, so an observer cancelling itself (or
+// another observer) mid-delivery — or an out-of-band goroutine such as
+// an HTTP server tearing a subscriber down — never races the iteration.
+// A cancel that runs concurrently with an in-flight emit may still see
+// that one event; it never sees a later one.
 type eventHub struct {
+	mu  sync.Mutex
 	obs []Observer
+
+	// lastTrace is the plane's trace-id mint (see nextTrace).
+	lastTrace atomic.Uint64
 }
+
+// nextTrace mints a fresh lease trace id. Ids are plane-local, start at
+// 1, and cost no virtual time.
+func (h *eventHub) nextTrace() uint64 { return h.lastTrace.Add(1) }
 
 // observe registers fn and returns its cancel.
 func (h *eventHub) observe(fn Observer) (cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.obs = append(h.obs, fn)
 	i := len(h.obs) - 1
-	return func() { h.obs[i] = nil }
+	return func() {
+		h.mu.Lock()
+		h.obs[i] = nil
+		h.mu.Unlock()
+	}
 }
 
 // emit delivers ev to every live observer in registration order.
 func (h *eventHub) emit(ev Event) {
-	for _, fn := range h.obs {
+	h.mu.Lock()
+	snap := append([]Observer(nil), h.obs...)
+	h.mu.Unlock()
+	for _, fn := range snap {
 		if fn != nil {
 			fn(ev)
 		}
@@ -436,6 +522,7 @@ func (h *eventHub) forwardRecovery(ev monitor.LeaseEvent) {
 		Type:      t,
 		Kind:      kindOfAlloc(ev.Alloc),
 		At:        ev.At,
+		Trace:     ev.Alloc.Trace,
 		Recipient: ev.Alloc.Recipient,
 		Donor:     ev.Alloc.Donor,
 		OldDonor:  ev.OldDonor,
@@ -465,6 +552,9 @@ func retryable(err error) bool {
 // request's retry schedule, emitting the terminal acquire-failed event.
 func acquireWithRetry(p *sim.Proc, req Request, hub *eventHub,
 	once func(*sim.Proc, Request) (Lease, error)) (Lease, error) {
+	// Mint the lease's trace id before the first attempt, so a failed
+	// acquire and the grant it finally becomes share one span chain.
+	req.trace = hub.nextTrace()
 	attempts := req.retry.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -487,7 +577,7 @@ func acquireWithRetry(p *sim.Proc, req Request, hub *eventHub,
 		}
 	}
 	hub.emit(Event{
-		Type: LeaseAcquireFailed, Kind: req.Kind, At: p.Now(),
+		Type: LeaseAcquireFailed, Kind: req.Kind, At: p.Now(), Trace: req.trace,
 		Recipient: recipientID(req.On), Size: req.Size, Err: err.Error(),
 	})
 	return nil, err

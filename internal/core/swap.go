@@ -26,7 +26,11 @@ type SwapLease struct {
 	allocID int
 	mn      fabric.NodeID
 	hub     *eventHub
+	trace   uint64
 }
+
+// Trace reports the lease's trace id (see Lease.Trace).
+func (l *SwapLease) Trace() uint64 { return l.trace }
 
 // Kind reports how the lease was acquired (Swap or DirectSwap).
 func (l *SwapLease) Kind() Kind { return l.kind }
@@ -78,7 +82,7 @@ func (l *SwapLease) Release(p *sim.Proc) {
 	}
 	if l.hub != nil {
 		l.hub.emit(Event{
-			Type: LeaseReleased, Kind: l.kind, At: p.Now(),
+			Type: LeaseReleased, Kind: l.kind, At: p.Now(), Trace: l.trace,
 			Recipient: l.Recipient.ID, Donor: l.donor, Size: l.Size,
 		})
 	}

@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"sync"
+
 	"repro/internal/fabric"
 	"repro/internal/sim"
 )
@@ -73,20 +75,40 @@ type LeaseEvent struct {
 type LeaseObserver func(LeaseEvent)
 
 // leaseObservers is the shared registration list (Monitor and Root).
+// Registration and cancel take the mutex so an observer cancelling
+// itself (or another goroutine cancelling it) during an emit cannot
+// corrupt the slice; emit delivers against a snapshot.
 type leaseObservers struct {
+	mu  sync.Mutex
 	fns []LeaseObserver
 }
 
 // observe registers fn and returns its cancel.
 func (o *leaseObservers) observe(fn LeaseObserver) (cancel func()) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.fns = append(o.fns, fn)
 	i := len(o.fns) - 1
-	return func() { o.fns[i] = nil }
+	return func() {
+		o.mu.Lock()
+		o.fns[i] = nil
+		o.mu.Unlock()
+	}
+}
+
+// empty reports whether no observer is registered (cheap emit guard).
+func (o *leaseObservers) empty() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.fns) == 0
 }
 
 // emit delivers ev to every live observer in registration order.
 func (o *leaseObservers) emit(ev LeaseEvent) {
-	for _, fn := range o.fns {
+	o.mu.Lock()
+	snap := append([]LeaseObserver(nil), o.fns...)
+	o.mu.Unlock()
+	for _, fn := range snap {
 		if fn != nil {
 			fn(ev)
 		}
@@ -99,7 +121,7 @@ func (m *Monitor) Observe(fn LeaseObserver) (cancel func()) { return m.observers
 
 // emitLease announces one lifecycle transition for an allocation row.
 func (m *Monitor) emitLease(t LeaseEventType, a *Allocation, oldDonor fabric.NodeID) {
-	if len(m.observers.fns) == 0 {
+	if m.observers.empty() {
 		return
 	}
 	m.observers.emit(LeaseEvent{Type: t, At: m.EP.Eng.Now(), Alloc: *a, OldDonor: oldDonor})
@@ -113,7 +135,7 @@ func (rt *Root) Observe(fn LeaseObserver) (cancel func()) { return rt.observers.
 // emitDelegation announces one lifecycle transition for a delegation
 // row, synthesized into the Allocation shape observers already consume.
 func (rt *Root) emitDelegation(t LeaseEventType, d *Delegation, oldDonor fabric.NodeID) {
-	if len(rt.observers.fns) == 0 {
+	if rt.observers.empty() {
 		return
 	}
 	rt.observers.emit(LeaseEvent{
@@ -122,6 +144,7 @@ func (rt *Root) emitDelegation(t LeaseEventType, d *Delegation, oldDonor fabric.
 		Alloc: Allocation{
 			ID: d.ID, Kind: "memory", Donor: d.Donor, Recipient: d.Recipient,
 			RecipientBase: d.RecipientBase, Size: d.Size, At: d.At, Deleg: d.ID,
+			Trace: d.Trace,
 		},
 		OldDonor: oldDonor,
 	})

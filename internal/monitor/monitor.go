@@ -49,6 +49,12 @@ type Allocation struct {
 	// delegated from another rack (the recipient is outside this sub-MN's
 	// rack); 0 for ordinary local grants.
 	Deleg int
+
+	// Trace is the lease trace id the requester minted at Acquire time;
+	// lifecycle events for this row (grant, free, failover, migration,
+	// revocation) carry it so observability layers can chain them into
+	// one per-lease span history. Purely passive.
+	Trace uint64
 }
 
 // LinkStatus is one row of the Topology Status Table. Util carries the
@@ -196,6 +202,50 @@ func (m *Monitor) Registered(id fabric.NodeID) (Registration, bool) {
 	return *r, true
 }
 
+// Registrations returns the live RRT rows, ordered by node id — the
+// donor-population snapshot observability surfaces export. Device maps
+// are copied, so callers may hold the rows across MN activity.
+func (m *Monitor) Registrations() []Registration {
+	ids := make([]fabric.NodeID, 0, len(m.rrt))
+	for id := range m.rrt {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Registration, 0, len(ids))
+	for _, id := range ids {
+		r := *m.rrt[id]
+		if r.Devices != nil {
+			devs := make(map[DeviceKind]int, len(r.Devices))
+			for k, v := range r.Devices {
+				devs[k] = v
+			}
+			r.Devices = devs
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Links returns the TST rows, ordered by link key — the fabric-health
+// snapshot observability surfaces export.
+func (m *Monitor) Links() []LinkStatus {
+	keys := make([][2]fabric.NodeID, 0, len(m.tst))
+	for k := range m.tst {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]LinkStatus, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *m.tst[k])
+	}
+	return out
+}
+
 // Allocations returns the live RAT rows, ordered by id.
 func (m *Monitor) Allocations() []Allocation {
 	ids := make([]int, 0, len(m.rat))
@@ -335,7 +385,7 @@ func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int
 		return &AllocMemResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 64
 	}
 	if r.Scope != ScopeRemoteRack {
-		if a, ok := m.grantFrom(p, from, r.Size, r.WindowBase, 0, pol, r.Latency); ok {
+		if a, ok := m.grantFrom(p, from, r.Size, r.WindowBase, 0, pol, r.Latency, r.Trace); ok {
 			m.Stats.Add("alloc.memory", 1)
 			return &AllocMemResp{OK: true, AllocID: a.ID, Donor: a.Donor, DonorBase: a.DonorBase}, 64
 		}
@@ -365,8 +415,9 @@ func (m *Monitor) resolvePolicy(name string) (Policy, bool) {
 // retries the next candidate (handshake-and-retry, §5.3). deleg tags the
 // row with a root delegation id when the grant backs a cross-rack lease;
 // pol, when non-nil, overrides the MN's placement policy for this walk;
-// latency tags the row latency-sensitive for the migration loop.
-func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBase uint64, deleg int, pol Policy, latency bool) (*Allocation, bool) {
+// latency tags the row latency-sensitive for the migration loop; trace
+// is the requester's lease trace id, stored passively on the row.
+func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBase uint64, deleg int, pol Policy, latency bool, trace uint64) (*Allocation, bool) {
 	for _, cand := range m.donorCandidates(recipient, pol) {
 		if cand.IdleBytes < size {
 			continue
@@ -405,6 +456,7 @@ func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBa
 			ID: id, Kind: "memory", Donor: cand.Node, Recipient: recipient,
 			DonorBase: resp.Base, RecipientBase: windowBase,
 			Size: size, At: m.EP.Eng.Now(), Deleg: deleg, Latency: latency,
+			Trace: trace,
 		}
 		m.rat[id] = a
 		cand.IdleBytes -= size
@@ -484,7 +536,7 @@ func (m *Monitor) onAllocDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int
 		m.nextAllocID++
 		a := &Allocation{
 			ID: id, Kind: r.Kind.String(), Dev: r.Kind, Donor: cand.Node,
-			Recipient: from, Size: 1, At: m.EP.Eng.Now(),
+			Recipient: from, Size: 1, At: m.EP.Eng.Now(), Trace: r.Trace,
 		}
 		m.rat[id] = a
 		m.Stats.Add("alloc."+r.Kind.String(), 1)

@@ -132,6 +132,11 @@ type AllocMemReq struct {
 	// relieves its path by moving bulk leases away, and never retargets
 	// the lease itself.
 	Latency bool
+	// Trace is the requester's lease trace id; the MN stores it on the
+	// allocation row so recovery and migration events announce the same
+	// id the recipient's grant/release events carry. Purely passive —
+	// it never steers placement, and the request's wire size is fixed.
+	Trace uint64
 }
 
 // AllocMemResp answers an AllocMemReq.
@@ -151,6 +156,8 @@ type FreeMemReq struct {
 // AllocDevReq asks the MN for a remote device of a kind.
 type AllocDevReq struct {
 	Kind DeviceKind
+	// Trace is the requester's lease trace id (see AllocMemReq.Trace).
+	Trace uint64
 }
 
 // AllocDevResp answers an AllocDevReq.
@@ -189,6 +196,9 @@ type MemReqOpts struct {
 	Policy  string
 	Latency bool
 	Timeout sim.Dur
+	// Trace is the lease trace id stamped onto the allocation row (see
+	// AllocMemReq.Trace).
+	Trace uint64
 }
 
 // RequestMemoryOpts is RequestMemoryScoped with the full option set:
@@ -196,7 +206,7 @@ type MemReqOpts struct {
 // and reports ok=false (an unreachable or wedged MN must not park the
 // requester forever).
 func RequestMemoryOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, o MemReqOpts) (*AllocMemResp, bool) {
-	req := &AllocMemReq{Size: size, WindowBase: windowBase, Scope: o.Scope, Policy: o.Policy, Latency: o.Latency}
+	req := &AllocMemReq{Size: size, WindowBase: windowBase, Scope: o.Scope, Policy: o.Policy, Latency: o.Latency, Trace: o.Trace}
 	if o.Timeout > 0 {
 		raw, ok := ep.CallTimeout(p, mn, kindAllocMem, 64, req, o.Timeout)
 		if !ok {
@@ -214,16 +224,24 @@ func FreeMemory(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, allocID i
 
 // RequestDevice asks the MN for a remote device unit.
 func RequestDevice(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind) *AllocDevResp {
-	resp, _ := RequestDeviceOpts(p, ep, mn, kind, 0)
+	resp, _ := RequestDeviceOpts(p, ep, mn, kind, DevReqOpts{})
 	return resp
 }
 
-// RequestDeviceOpts is RequestDevice with a bounded wait (same contract
-// as RequestMemoryOpts: timeout <= 0 waits indefinitely).
-func RequestDeviceOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind, timeout sim.Dur) (*AllocDevResp, bool) {
-	req := &AllocDevReq{Kind: kind}
-	if timeout > 0 {
-		raw, ok := ep.CallTimeout(p, mn, kindAllocDev, 16, req, timeout)
+// DevReqOpts carries the optional refinements of one device request: a
+// bounded wait (Timeout <= 0 waits indefinitely) and the lease trace id
+// (see AllocMemReq.Trace).
+type DevReqOpts struct {
+	Timeout sim.Dur
+	Trace   uint64
+}
+
+// RequestDeviceOpts is RequestDevice with the full option set (same
+// timeout contract as RequestMemoryOpts).
+func RequestDeviceOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind, o DevReqOpts) (*AllocDevResp, bool) {
+	req := &AllocDevReq{Kind: kind, Trace: o.Trace}
+	if o.Timeout > 0 {
+		raw, ok := ep.CallTimeout(p, mn, kindAllocDev, 16, req, o.Timeout)
 		if !ok {
 			return nil, false
 		}
@@ -355,6 +373,7 @@ type rackBorrowReq struct {
 	WindowBase uint64
 	Policy     string // per-request policy override, forwarded to the donor rack
 	Latency    bool   // latency-sensitive class, forwarded to the donor rack
+	Trace      uint64 // lease trace id, forwarded to the donor rack's RAT row
 }
 
 // rackBorrowResp answers a rackBorrowReq.
@@ -409,6 +428,7 @@ type delegateReq struct {
 	WindowBase uint64
 	Policy     string // per-request policy override for the donor walk
 	Latency    bool   // latency-sensitive class for the granted row
+	Trace      uint64 // lease trace id for the granted row
 }
 
 // delegateResp answers a delegateReq.

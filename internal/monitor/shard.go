@@ -64,7 +64,8 @@ type Delegation struct {
 	RecipientBase uint64
 	Size          uint64
 	At            sim.Time
-	Latency       bool // latency-sensitive class, preserved across re-delegation
+	Latency       bool   // latency-sensitive class, preserved across re-delegation
+	Trace         uint64 // lease trace id, preserved across re-delegation
 }
 
 // Root is the root Monitor Node of a sharded plane. It brokers nothing
@@ -260,8 +261,8 @@ const rootBorrowCandidates = 2
 // registry's idle-byte account. Shared by the borrow election and
 // rack-death re-delegation so decline/timeout handling cannot drift
 // between them.
-func (rt *Root) delegateTo(p *sim.Proc, rs *RackStatus, delegID int, recipient fabric.NodeID, size, windowBase uint64, policy string, latency bool) (*delegateResp, bool) {
-	req := &delegateReq{DelegID: delegID, Recipient: recipient, Size: size, WindowBase: windowBase, Policy: policy, Latency: latency}
+func (rt *Root) delegateTo(p *sim.Proc, rs *RackStatus, delegID int, recipient fabric.NodeID, size, windowBase uint64, policy string, latency bool, trace uint64) (*delegateResp, bool) {
+	req := &delegateReq{DelegID: delegID, Recipient: recipient, Size: size, WindowBase: windowBase, Policy: policy, Latency: latency, Trace: trace}
 	raw, ok := rt.EP.CallTimeout(p, rs.Sub, kindDelegate, 64, req, rt.delegateTimeout())
 	if !ok {
 		// The sub may have granted and lost the response; park a
@@ -297,7 +298,7 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		if tried >= rootBorrowCandidates {
 			break
 		}
-		resp, ok := rt.delegateTo(p, rs, id, r.Recipient, r.Size, r.WindowBase, r.Policy, r.Latency)
+		resp, ok := rt.delegateTo(p, rs, id, r.Recipient, r.Size, r.WindowBase, r.Policy, r.Latency, r.Trace)
 		if !ok {
 			continue
 		}
@@ -305,7 +306,7 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 			ID: id, DonorRack: rs.Rack, RecipientRack: r.Rack,
 			SubAllocID: resp.AllocID, Donor: resp.Donor,
 			Recipient: r.Recipient, RecipientBase: r.WindowBase,
-			Size: r.Size, At: rt.EP.Eng.Now(), Latency: r.Latency,
+			Size: r.Size, At: rt.EP.Eng.Now(), Latency: r.Latency, Trace: r.Trace,
 		}
 		if rt.cancelled[key] {
 			// The requesting sub gave up and cancelled while this
@@ -566,7 +567,7 @@ func (rt *Root) redelegateRack(p *sim.Proc, dead int) {
 		oldDonor := d.Donor
 		moved := false
 		for _, rs := range rt.donorRacks(dead, d.Size) {
-			resp, ok := rt.delegateTo(p, rs, d.ID, d.Recipient, d.Size, d.RecipientBase, "", d.Latency)
+			resp, ok := rt.delegateTo(p, rs, d.ID, d.Recipient, d.Size, d.RecipientBase, "", d.Latency, d.Trace)
 			if !ok {
 				continue
 			}
@@ -719,7 +720,7 @@ func (m *Monitor) borrowTimeout() sim.Dur { return 8 * m.GrantTimeout }
 // on success, records the recipient-facing alloc-id → delegation-id
 // mapping so the lease frees through the same FreeMemory call path.
 func (m *Monitor) escalate(p *sim.Proc, from fabric.NodeID, r *AllocMemReq) *AllocMemResp {
-	req := &rackBorrowReq{Rack: m.Rack, Recipient: from, Size: r.Size, WindowBase: r.WindowBase, Policy: r.Policy, Latency: r.Latency}
+	req := &rackBorrowReq{Rack: m.Rack, Recipient: from, Size: r.Size, WindowBase: r.WindowBase, Policy: r.Policy, Latency: r.Latency, Trace: r.Trace}
 	raw, ok := m.EP.CallTimeout(p, m.Upstream, kindRackBorrow, 64, req, m.borrowTimeout())
 	if !ok {
 		// The response is lost (or the root outran our patience, which
@@ -802,7 +803,7 @@ func (m *Monitor) onDelegate(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		m.Stats.Add("delegate.declined", 1)
 		return &delegateResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 64
 	}
-	a, ok := m.grantFrom(p, r.Recipient, r.Size, r.WindowBase, r.DelegID, pol, r.Latency)
+	a, ok := m.grantFrom(p, r.Recipient, r.Size, r.WindowBase, r.DelegID, pol, r.Latency, r.Trace)
 	if !ok {
 		m.Stats.Add("delegate.declined", 1)
 		return &delegateResp{OK: false, Err: "no rack donor"}, 64

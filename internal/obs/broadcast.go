@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcaster fans messages out to any number of subscribers with
+// per-subscriber buffering and non-blocking publishes. A subscriber
+// that stops draining (a stalled SSE client) fills its buffer and is
+// dropped — its channel closes, the serving handler returns — so one
+// slow consumer can never stall the publisher or its peers. Publish
+// is safe from any goroutine and never blocks.
+type Broadcaster struct {
+	mu      sync.Mutex
+	subs    map[*Subscriber]struct{}
+	dropped atomic.Int64
+	sent    atomic.Int64
+}
+
+// Subscriber is one registered consumer. Read from C until it closes
+// (closure means either Unsubscribe or a slow-consumer drop).
+type Subscriber struct {
+	C      chan []byte
+	closed bool // guarded by the broadcaster's mu
+}
+
+// NewBroadcaster builds an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscribe registers a consumer whose channel buffers up to buf
+// messages (values < 1 select 64). The caller must drain C promptly
+// or be dropped.
+func (b *Broadcaster) Subscribe(buf int) *Subscriber {
+	if buf < 1 {
+		buf = 64
+	}
+	s := &Subscriber{C: make(chan []byte, buf)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes s and closes its channel (idempotent).
+func (b *Broadcaster) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.remove(s)
+}
+
+// remove detaches s under b.mu.
+func (b *Broadcaster) remove(s *Subscriber) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(b.subs, s)
+	close(s.C)
+}
+
+// Publish delivers msg to every subscriber without blocking; any
+// subscriber whose buffer is full is dropped on the spot.
+func (b *Broadcaster) Publish(msg []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		select {
+		case s.C <- msg:
+			b.sent.Add(1)
+		default:
+			b.remove(s)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribers reports the current consumer count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Stats reports lifetime totals: messages delivered and subscribers
+// dropped for falling behind.
+func (b *Broadcaster) Stats() (sent, dropped int64) {
+	return b.sent.Load(), b.dropped.Load()
+}

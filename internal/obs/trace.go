@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// TraceStore collects lease-lifecycle events keyed by the trace id
+// minted at Acquire, so one lease's acquire → grant → migrate →
+// failover → release history reads back as a single span chain. It is
+// bounded: once MaxTraces distinct ids are live, recording an event
+// for a new id evicts the oldest-started trace (the store favors
+// recent activity, which is what a live dashboard queries).
+//
+// Events with trace id 0 are ignored — 0 marks pre-tracing paths and
+// synthetic events that never passed through Acquire.
+type TraceStore struct {
+	mu     sync.Mutex
+	spans  map[uint64][]core.Event
+	order  []uint64 // insertion order, for eviction
+	limit  int
+	evict  int64 // traces evicted (exposed as a metric by collectors)
+	events int64 // events recorded
+}
+
+// NewTraceStore builds a store bounded to maxTraces distinct ids
+// (values < 1 select the default of 4096).
+func NewTraceStore(maxTraces int) *TraceStore {
+	if maxTraces < 1 {
+		maxTraces = 4096
+	}
+	return &TraceStore{spans: make(map[uint64][]core.Event), limit: maxTraces}
+}
+
+// Add records ev under its trace id.
+func (s *TraceStore) Add(ev core.Event) {
+	if ev.Trace == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.spans[ev.Trace]; !live {
+		if len(s.order) >= s.limit {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.spans, oldest)
+			s.evict++
+		}
+		s.order = append(s.order, ev.Trace)
+	}
+	s.spans[ev.Trace] = append(s.spans[ev.Trace], ev)
+	s.events++
+}
+
+// Get returns a copy of the span chain for id (nil when unknown or
+// evicted).
+func (s *TraceStore) Get(id uint64) []core.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain := s.spans[id]
+	if chain == nil {
+		return nil
+	}
+	return append([]core.Event(nil), chain...)
+}
+
+// IDs lists the live trace ids in ascending order.
+func (s *TraceStore) IDs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := append([]uint64(nil), s.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len reports the number of live traces.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.spans)
+}
+
+// Stats reports lifetime totals: events recorded and traces evicted.
+func (s *TraceStore) Stats() (events, evicted int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events, s.evict
+}

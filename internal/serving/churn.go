@@ -61,6 +61,23 @@ type ChurnConfig struct {
 	// Chaos instants derive from a fixed internal seed so every shard of
 	// a cell sees the same fault history.
 	Seed uint64
+
+	// The remaining fields are observability hooks (venice-serve). All
+	// run OUTSIDE virtual time — they may read simulation state but must
+	// not sleep, block, or touch the engine — so leaving them nil (the
+	// default) and setting them produce byte-identical results.
+
+	// OnCluster, when set, receives the cluster after its RRT is
+	// populated and before serving starts: the place to attach
+	// lease-lifecycle observers or capture handles for snapshots.
+	OnCluster func(*core.Cluster)
+	// Throttle, when set, is called between engine steps on the driving
+	// goroutine. venice-serve uses it to pace virtual time against wall
+	// clock and to publish state snapshots at a safe point.
+	Throttle func()
+	// Observe, when set, receives every measured request's end-to-end
+	// latency as it completes (in addition to the shard histograms).
+	Observe func(sim.Dur)
 }
 
 // ChurnResult is one churn run's measurements.
@@ -202,6 +219,9 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		return nil, fmt.Errorf("serving: reserving MN memory: %w", err)
 	}
 	cl.RunFor(10 * sim.Millisecond) // populate the RRT
+	if cfg.OnCluster != nil {
+		cfg.OnCluster(cl)
+	}
 
 	// Donor population: every node but the MN (0) and the server (1),
 	// ordered nearest-to-server first. Rolling churn walks this order, so
@@ -286,6 +306,9 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 					wp.Sleep(churnThink)
 					d := wp.Now().Sub(req.arrived)
 					shards[w].AddDur(d)
+					if cfg.Observe != nil {
+						cfg.Observe(d)
+					}
 					if d > res.Deadline {
 						res.Failed++
 					}
@@ -335,7 +358,13 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	})
 	// Step only until the scenario finishes: agents, the recovery loop,
 	// and pending chaos actions would keep the queue alive forever.
-	for !done.Done() && cl.Eng.Step() {
+	if cfg.Throttle == nil {
+		for !done.Done() && cl.Eng.Step() {
+		}
+	} else {
+		for !done.Done() && cl.Eng.Step() {
+			cfg.Throttle()
+		}
 	}
 	if runErr != nil {
 		return nil, runErr

@@ -276,6 +276,17 @@ type LatencyBucket struct {
 	Count int64
 }
 
+// BucketUpper reports the largest value the bucket at idx can hold —
+// the inclusive upper edge exporters need to label serialized buckets
+// (e.g. Prometheus `le` bounds). It panics on an out-of-range index,
+// mirroring RestoreLatencyHist.
+func BucketUpper(idx int) int64 {
+	if idx < 0 || idx >= latHistBuckets {
+		panic(fmt.Sprintf("sim: latency bucket index %d out of range", idx))
+	}
+	return latUpper(idx)
+}
+
 // Buckets returns the nonzero buckets in index order — the serialized
 // form a trial exports so that assembly can rebuild and merge shard
 // histograms exactly.
