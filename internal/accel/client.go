@@ -2,6 +2,7 @@ package accel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fabric"
 	"repro/internal/node"
@@ -14,21 +15,43 @@ import (
 // chunks so transfer overlaps compute.
 type Client struct {
 	Node    *node.Node
-	pending map[uint64]func()
+	pending map[uint64]*pendingChunk
 	nextTag uint64
+}
+
+// pendingChunk is one in-flight pipeline chunk, kept until its result
+// lands back in local memory. Recording the launch parameters (not just
+// a completion closure) is what makes failover possible: Retarget
+// replays every outstanding chunk of a handle against a new donor.
+type pendingChunk struct {
+	h    *RemoteHandle
+	exec string
+	addr uint64
+	size int
+	// started marks the result read-back as issued; a duplicate done
+	// signal for the same chunk (possible when a retarget races the old
+	// donor's last completions) is then ignored.
+	started bool
+	// done finishes the chunk exactly once (idempotent), however many
+	// read-backs ultimately complete for it.
+	done func()
 }
 
 // NewClient attaches the accelerator library to a node.
 func NewClient(n *node.Node) *Client {
-	c := &Client{Node: n, pending: make(map[uint64]func())}
+	c := &Client{Node: n, pending: make(map[uint64]*pendingChunk)}
 	n.EP.Handle("accel.done", func(pkt *fabric.Packet) {
 		m := pkt.Payload.(*accelDoneMsg)
-		fn, ok := c.pending[m.Tag]
-		if !ok {
+		ck, ok := c.pending[m.Tag]
+		if !ok || ck.started {
 			return
 		}
-		delete(c.pending, m.Tag)
-		fn()
+		// Stage 3: the donor signalled completion — read the result chunk
+		// back; its arrival finishes the chunk. The donor is read at fire
+		// time so a retargeted handle reads from its current donor.
+		ck.started = true
+		rd := n.EP.RDMA.ReadAsync(ck.h.Donor, ck.addr, ck.size)
+		rd.Then(ck.done)
 	})
 	return c
 }
@@ -48,6 +71,9 @@ type RemoteHandle struct {
 	// Tasks and Bytes count work shipped through this handle.
 	Tasks int64
 	Bytes int64
+	// Replays counts chunks re-launched by Retarget after a donor
+	// failover.
+	Replays int64
 }
 
 // Attach opens a handle to mailbox mb on the donor.
@@ -58,6 +84,33 @@ func (c *Client) Attach(donor fabric.NodeID, mb int, exclusive bool) *RemoteHand
 		Mailbox:   mb,
 		BufBase:   0x7000_0000 + uint64(mb)<<28,
 		Exclusive: exclusive,
+	}
+}
+
+// Retarget repoints the handle at a new donor (the MN failed the lease
+// over) and replays every outstanding chunk there: inputs are re-shipped
+// with their original tags, so the pipeline completes on the new device
+// without the caller noticing beyond the extra transfer time. Runs
+// without a process — it is called from lease-event observers — relying
+// on the async RDMA surface only. Reads still in flight against the old
+// donor stay harmless: chunk completion is idempotent.
+func (h *RemoteHandle) Retarget(newDonor fabric.NodeID) {
+	h.Donor = newDonor
+	var tags []uint64
+	for tag, ck := range h.c.pending {
+		if ck.h == h {
+			tags = append(tags, tag)
+		}
+	}
+	// Map order is nondeterministic; the wire must not be.
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	ep := h.c.Node.EP
+	for _, tag := range tags {
+		ck := h.c.pending[tag]
+		ck.started = false
+		h.Replays++
+		start := &accelStartMsg{Mailbox: h.Mailbox, Exec: ck.exec, Bytes: ck.size, Tag: tag}
+		ep.RDMA.WriteAsyncNote(newDonor, ck.addr, ck.size, start)
 	}
 }
 
@@ -89,12 +142,17 @@ func (h *RemoteHandle) Run(p *sim.Proc, exec string, n int) {
 		tag := h.c.nextTag
 		h.c.nextTag++
 		addr := h.BufBase + uint64(off)
-		// Stage 3 (registered first): when the donor signals completion,
-		// read the result chunk back; its arrival finishes the chunk.
-		h.c.pending[tag] = func() {
-			rd := ep.RDMA.ReadAsync(h.Donor, addr, sz)
-			rd.Then(g.Done)
+		ck := &pendingChunk{h: h, exec: exec, addr: addr, size: sz}
+		finished := false
+		ck.done = func() {
+			if finished {
+				return
+			}
+			finished = true
+			delete(h.c.pending, tag)
+			g.Done()
 		}
+		h.c.pending[tag] = ck
 		// Stage 1+2: ship the input chunk with the start request as its
 		// immediate; the donor launches the accelerator on arrival.
 		start := &accelStartMsg{Mailbox: h.Mailbox, Exec: exec, Bytes: sz, Tag: tag}

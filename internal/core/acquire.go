@@ -44,9 +44,9 @@ func (c *Cluster) acquireOnce(p *sim.Proc, r Request) (Lease, error) {
 	case Swap:
 		return acquireSwap(p, r, c.MN.Node(), monitor.ScopeAny, &c.hub)
 	case Accel:
-		return acquireAccel(p, r, c.MN.Node(), c.Nodes, &c.hub)
+		return acquireAccel(p, r, c.MN.Node(), monitor.ScopeAny, c.Nodes, &c.hub)
 	case NIC:
-		return acquireNIC(p, r, c.MN.Node(), c.Eng, c.P, c.Nodes, &c.hub)
+		return acquireNIC(p, r, c.MN.Node(), monitor.ScopeAny, c.Eng, c.P, c.Nodes, &c.hub)
 	default: // DirectMemory, DirectSwap (validate rejected the rest)
 		return acquireDirect(p, r, &c.hub)
 	}
@@ -88,9 +88,9 @@ func (c *HierCluster) acquireOnce(p *sim.Proc, r Request) (Lease, error) {
 	case Swap:
 		return acquireSwap(p, r, sub, r.scope, &c.hub)
 	case Accel:
-		return acquireAccel(p, r, sub, c.Nodes, &c.hub)
+		return acquireAccel(p, r, sub, r.scope, c.Nodes, &c.hub)
 	default: // NIC
-		return acquireNIC(p, r, sub, c.Eng, c.P, c.Nodes, &c.hub)
+		return acquireNIC(p, r, sub, r.scope, c.Eng, c.P, c.Nodes, &c.hub)
 	}
 }
 
@@ -154,9 +154,9 @@ func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocSc
 // acquireAccel asks mn for a remote accelerator and opens a handle to
 // the requested mailbox on the chosen donor. The donor must be running
 // an accel.Service (its agent advertises the device count).
-func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, nodes []*node.Node, hub *eventHub) (Lease, error) {
+func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, nodes []*node.Node, hub *eventHub) (Lease, error) {
 	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevAccelerator,
-		monitor.DevReqOpts{Timeout: r.timeout, Trace: r.trace})
+		monitor.DevReqOpts{Scope: scope, Policy: r.policy, Timeout: r.timeout, Trace: r.trace})
 	if !ok {
 		return nil, fmt.Errorf("core: attach accelerator: %w", ErrTimeout)
 	}
@@ -168,20 +168,24 @@ func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, nodes []*node.Node, 
 		Handle:    h,
 		Recipient: r.On,
 		donor:     nodes[resp.Donor],
+		nodes:     nodes,
 		allocID:   resp.AllocID,
 		mn:        mn,
 		hub:       hub,
 		trace:     r.trace,
 	}
+	// Follow recovery live: a donor failover retargets the handle and
+	// replays in-flight chunks against the replacement device.
+	lease.cancelWatch = hub.observe(lease.onEvent)
 	emitGranted(hub, p, Accel, r.On.ID, resp.Donor, 1, 0, r.trace)
 	return lease, nil
 }
 
 // acquireNIC asks mn for a remote NIC and builds the VNIC path to the
 // chosen donor's physical NIC (created here on its behalf).
-func acquireNIC(p *sim.Proc, r Request, mn fabric.NodeID, eng *sim.Engine, params *sim.Params, nodes []*node.Node, hub *eventHub) (Lease, error) {
+func acquireNIC(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, eng *sim.Engine, params *sim.Params, nodes []*node.Node, hub *eventHub) (Lease, error) {
 	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevNIC,
-		monitor.DevReqOpts{Timeout: r.timeout, Trace: r.trace})
+		monitor.DevReqOpts{Scope: scope, Policy: r.policy, Timeout: r.timeout, Trace: r.trace})
 	if !ok {
 		return nil, fmt.Errorf("core: attach NIC: %w", ErrTimeout)
 	}
@@ -195,11 +199,17 @@ func acquireNIC(p *sim.Proc, r Request, mn fabric.NodeID, eng *sim.Engine, param
 		VNIC:      v,
 		Recipient: r.On,
 		donor:     donor,
+		nodes:     nodes,
+		eng:       eng,
+		params:    params,
 		allocID:   resp.AllocID,
 		mn:        mn,
 		hub:       hub,
 		trace:     r.trace,
 	}
+	// Follow recovery live: a donor failover rebuilds the VNIC path
+	// against the replacement donor's physical NIC.
+	lease.cancelWatch = hub.observe(lease.onEvent)
 	emitGranted(hub, p, NIC, r.On.ID, resp.Donor, 1, 0, r.trace)
 	return lease, nil
 }

@@ -157,9 +157,10 @@ func (r Request) With(opts ...Option) Request {
 	return r
 }
 
-// WithScope pins a memory request's placement (rack-local, remote-rack,
-// or anywhere) on a hierarchical plane. Flat planes have no racks, so
-// any explicit scope other than ScopeAny is a validation error there.
+// WithScope pins an MN-brokered request's placement (rack-local,
+// remote-rack, or anywhere) on a hierarchical plane — memory and device
+// kinds alike. Flat planes have no racks, so any explicit scope other
+// than ScopeAny is a validation error there.
 func WithScope(scope monitor.AllocScope) Option {
 	return func(r *Request) { r.scope, r.hasScope = scope, true }
 }
@@ -204,8 +205,8 @@ func WithClient(c *accel.Client) Option {
 // WithPolicy overrides the Monitor Node's placement policy for this one
 // request: the MN's donor walk orders candidates with the named policy
 // (any name in monitor.PolicyNames) instead of its configured default.
-// Memory and Swap requests only — devices and direct attachments have
-// no donor election to steer.
+// Applies to every MN-brokered kind — memory, swap, and device walks
+// alike; direct attachments have no donor election to steer.
 func WithPolicy(name string) Option {
 	return func(r *Request) { r.policy = name }
 }
@@ -282,9 +283,10 @@ func (r *Request) validate(hier bool) error {
 		return fmt.Errorf("%w: WithDonor on a %s request (the MN elects donors)", ErrBadRequest, r.Kind)
 	}
 	if r.hasScope {
-		// Placement scopes steer the MN's memory donor election; no
-		// other kind consults them.
-		if r.Kind != Memory && r.Kind != Swap {
+		// Placement scopes steer the MN's donor election — the memory walk
+		// and the device walk both consult them; direct attachments have
+		// no election to steer.
+		if r.Kind.direct() {
 			return fmt.Errorf("%w: placement scope on a %s request", ErrBadRequest, r.Kind)
 		}
 		if !hier && r.scope != monitor.ScopeAny {
@@ -292,8 +294,8 @@ func (r *Request) validate(hier bool) error {
 		}
 	}
 	if r.policy != "" {
-		// Policy overrides steer the same donor election as scopes do.
-		if r.Kind != Memory && r.Kind != Swap {
+		// Policy overrides steer the same donor elections as scopes do.
+		if r.Kind.direct() {
 			return fmt.Errorf("%w: placement policy on a %s request", ErrBadRequest, r.Kind)
 		}
 		if _, ok := monitor.PolicyByName(r.policy); !ok {

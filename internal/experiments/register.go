@@ -24,6 +24,8 @@ func init() {
 	harness.Register("scale-smoke", scaleSmokeSpec())
 	harness.Register("serving-churn", churnSweepSpec())
 	harness.Register("churn-smoke", churnSmokeSpec())
+	harness.Register("serving-inference", inferSweepSpec())
+	harness.Register("inference-smoke", inferSmokeSpec())
 	harness.Register("migrate-smoke", migrateSmokeSpec())
 	harness.Register("engine-smoke", engineSmokeSpec())
 	harness.Register("ablation-mshr", ablationMSHRSpec(ablationMSHRs))

@@ -328,6 +328,17 @@ func (m *Monitor) onHeartbeat(p *sim.Proc, from fabric.NodeID, req any) (any, in
 	}
 	r.IdleBytes = hb.IdleBytes
 	r.Devices = hb.Devices
+	if len(hb.Devices) > 0 {
+		// Agents advertise installed device counts, not free ones (they
+		// don't know which units the MN has leased out). Re-debit the live
+		// grants so a heartbeat cannot resurrect a unit that is on loan —
+		// the device analogue of IdleBytes, which agents do track.
+		for _, a := range m.rat {
+			if a.Kind != "memory" && a.Donor == hb.Node {
+				r.Devices[a.Dev]--
+			}
+		}
+	}
 	r.LastBeat = m.EP.Eng.Now()
 	r.Beats++
 	for _, lp := range hb.Links {
@@ -518,11 +529,38 @@ func (m *Monitor) returnRegion(p *sim.Proc, a *Allocation) {
 	}
 }
 
-// onAllocDev grants a device unit on the nearest donor advertising one.
-func (m *Monitor) onAllocDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int) {
+// onAllocDev services a device request: the local donor walk first
+// (unless the scope hint forbids it), then — on a sub-MN — escalation to
+// the root MN, mirroring onAllocMem's gating so device leases ride the
+// same cross-rack delegation machinery as memory.
+func (m *Monitor) onAllocDev(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
 	r := req.(*AllocDevReq)
-	for _, cand := range m.donorCandidates(from, nil) {
-		if cand.Devices[r.Kind] <= 0 {
+	pol, ok := m.resolvePolicy(r.Policy)
+	if !ok {
+		return &AllocDevResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 32
+	}
+	if r.Scope != ScopeRemoteRack {
+		if a, ok := m.allocDevLocal(from, r.Kind, pol, 0, r.Trace); ok {
+			m.Stats.Add("alloc."+r.Kind.String(), 1)
+			return &AllocDevResp{OK: true, AllocID: a.ID, Donor: a.Donor}, 32
+		}
+	}
+	if m.HasUpstream && r.Scope != ScopeLocalRack {
+		if resp := m.escalateDev(p, from, r); resp != nil {
+			return resp, 32
+		}
+	}
+	m.Stats.Add("alloc.failures", 1)
+	return &AllocDevResp{OK: false, Err: "no " + r.Kind.String() + " available"}, 32
+}
+
+// allocDevLocal runs the donor walk for one device unit in this MN's own
+// scope. Device grants need no agent handshake (there is no hot-plug),
+// so the walk is a pure table operation. deleg tags the row when the
+// grant backs a cross-rack lease delegated by the root MN.
+func (m *Monitor) allocDevLocal(recipient fabric.NodeID, kind DeviceKind, pol Policy, deleg int, trace uint64) (*Allocation, bool) {
+	for _, cand := range m.donorCandidates(recipient, pol) {
+		if cand.Devices[kind] <= 0 {
 			continue
 		}
 		// Same grant-time liveness cross-check as memory: never hand out
@@ -531,27 +569,42 @@ func (m *Monitor) onAllocDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int
 			m.Stats.Add("alloc.dead_skips", 1)
 			continue
 		}
-		cand.Devices[r.Kind]--
+		cand.Devices[kind]--
 		id := m.nextAllocID
 		m.nextAllocID++
 		a := &Allocation{
-			ID: id, Kind: r.Kind.String(), Dev: r.Kind, Donor: cand.Node,
-			Recipient: from, Size: 1, At: m.EP.Eng.Now(), Trace: r.Trace,
+			ID: id, Kind: kind.String(), Dev: kind, Donor: cand.Node,
+			Recipient: recipient, Size: 1, At: m.EP.Eng.Now(), Deleg: deleg,
+			Trace: trace,
 		}
 		m.rat[id] = a
-		m.Stats.Add("alloc."+r.Kind.String(), 1)
 		m.emitLease(LeaseGranted, a, a.Donor)
-		return &AllocDevResp{OK: true, AllocID: id, Donor: cand.Node}, 32
+		return a, true
 	}
-	m.Stats.Add("alloc.failures", 1)
-	return &AllocDevResp{OK: false, Err: "no " + r.Kind.String() + " available"}, 32
+	return nil, false
 }
 
-// onFreeDev returns a device unit to its donor's RRT row.
-func (m *Monitor) onFreeDev(_ *sim.Proc, from fabric.NodeID, req any) (any, int) {
+// onFreeDev returns a device unit to its donor's RRT row — or, for a
+// device lease delegated from another rack, forwards the release up to
+// the root MN exactly like onFreeMem does for delegated memory (the
+// rollback path AcquireAll's reverse unwind depends on).
+func (m *Monitor) onFreeDev(p *sim.Proc, from fabric.NodeID, req any) (any, int) {
 	f := req.(*FreeDevReq)
+	if ref, ok := m.delegated[f.AllocID]; ok {
+		if ref.recipient != from {
+			return &ack{}, 8
+		}
+		delete(m.delegated, f.AllocID)
+		fr := &rackFreeReq{DelegID: ref.deleg}
+		if _, ok := m.EP.CallTimeout(p, m.Upstream, kindRackFree, 32, fr, 3*m.GrantTimeout); !ok {
+			m.pendingRackFrees[ref.deleg] = fr
+			m.Stats.Add("free.upstream_lost", 1)
+		}
+		m.Stats.Add("free.delegated", 1)
+		return &ack{}, 8
+	}
 	a, ok := m.rat[f.AllocID]
-	if !ok || a.Recipient != from {
+	if !ok || a.Recipient != from || a.Kind == "memory" {
 		return &ack{}, 8
 	}
 	delete(m.rat, f.AllocID)

@@ -156,6 +156,13 @@ type FreeMemReq struct {
 // AllocDevReq asks the MN for a remote device of a kind.
 type AllocDevReq struct {
 	Kind DeviceKind
+	// Scope is the hierarchical placement hint, with the same semantics
+	// as AllocMemReq.Scope: device leases can be kept rack-local or
+	// delegated to a donor in another rack through the root MN.
+	Scope AllocScope
+	// Policy names a registered placement policy override for the donor
+	// walk; "" keeps the MN default.
+	Policy string
 	// Trace is the requester's lease trace id (see AllocMemReq.Trace).
 	Trace uint64
 }
@@ -229,9 +236,12 @@ func RequestDevice(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind D
 }
 
 // DevReqOpts carries the optional refinements of one device request: a
-// bounded wait (Timeout <= 0 waits indefinitely) and the lease trace id
-// (see AllocMemReq.Trace).
+// placement scope and policy override (hierarchical planes only), a
+// bounded wait (Timeout <= 0 waits indefinitely), and the lease trace
+// id (see AllocMemReq.Trace).
 type DevReqOpts struct {
+	Scope   AllocScope
+	Policy  string
 	Timeout sim.Dur
 	Trace   uint64
 }
@@ -239,7 +249,7 @@ type DevReqOpts struct {
 // RequestDeviceOpts is RequestDevice with the full option set (same
 // timeout contract as RequestMemoryOpts).
 func RequestDeviceOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind, o DevReqOpts) (*AllocDevResp, bool) {
-	req := &AllocDevReq{Kind: kind, Trace: o.Trace}
+	req := &AllocDevReq{Kind: kind, Scope: o.Scope, Policy: o.Policy, Trace: o.Trace}
 	if o.Timeout > 0 {
 		raw, ok := ep.CallTimeout(p, mn, kindAllocDev, 16, req, o.Timeout)
 		if !ok {
@@ -355,6 +365,11 @@ type rackBeat struct {
 	Sub       fabric.NodeID
 	IdleBytes uint64 // sum of the rack's live RRT idle bytes
 	Live      int    // live nodes in the rack
+	// Devices aggregates the rack's free device units per kind (live RRT
+	// rows only), so the root can elect donor racks for device borrows
+	// the same way IdleBytes steers memory borrows. nil when the rack
+	// advertises no devices, keeping device-free planes byte-identical.
+	Devices map[DeviceKind]int
 	// MaxUtil aggregates the rack's telemetry one level up: the hottest
 	// windowed link utilization any rack agent reported. HasUtil is false
 	// until telemetry-enabled agents report, so the zero value keeps the
@@ -374,6 +389,13 @@ type rackBorrowReq struct {
 	Policy     string // per-request policy override, forwarded to the donor rack
 	Latency    bool   // latency-sensitive class, forwarded to the donor rack
 	Trace      uint64 // lease trace id, forwarded to the donor rack's RAT row
+	// Device marks a device borrow: the root elects the donor rack by
+	// free units of Dev instead of idle bytes, Size is 1 unit, and
+	// WindowBase carries the sub's pre-minted recipient-facing alloc id
+	// (devices have no address window) so cancellations stay
+	// key-resolvable.
+	Device bool
+	Dev    DeviceKind
 }
 
 // rackBorrowResp answers a rackBorrowReq.
@@ -398,6 +420,9 @@ type rackFreeReq struct {
 type borrowCancelReq struct {
 	Recipient     fabric.NodeID
 	RecipientBase uint64
+	// Device narrows the key match to device delegations (whose
+	// RecipientBase carries the pre-minted alloc id, not a window).
+	Device bool
 }
 
 // nodeDownReq is a sub-MN's notice to the root that its sweep declared
@@ -429,6 +454,11 @@ type delegateReq struct {
 	Policy     string // per-request policy override for the donor walk
 	Latency    bool   // latency-sensitive class for the granted row
 	Trace      uint64 // lease trace id for the granted row
+	// Device asks the donor rack for one unit of Dev instead of memory;
+	// the sub's device walk needs no agent handshake (no hot-plug), so
+	// the grant is a pure table operation.
+	Device bool
+	Dev    DeviceKind
 }
 
 // delegateResp answers a delegateReq.

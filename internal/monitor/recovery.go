@@ -18,8 +18,9 @@ import (
 // BY the failed node are re-placed onto survivors elected by the active
 // Policy and the recipients told to retarget + replay in flight
 // accesses; leases held BY the failed node are reclaimed to their
-// donors; device grants from it are dropped (device sessions are not
-// re-established — the client's next call surfaces the loss).
+// donors; device grants from it fail over to survivors with free units
+// (falling back to revocation when none exists — the client's next call
+// then surfaces the loss).
 
 // pendingNotice parks one undelivered recovery notice (relocate or
 // revoke) for a recipient, remembering the recipient's incarnation when
@@ -212,12 +213,7 @@ func (m *Monitor) recoverNode(p *sim.Proc, id fabric.NodeID, rebooted bool) {
 		case a.Donor == id && a.Kind == "memory":
 			m.failoverLease(p, a, rebooted)
 		case a.Donor == id:
-			// Device grant from the failed node: the hardware is gone (or
-			// reset); drop the row so the unit is not double-booked. The
-			// recipient's session is not re-established.
-			delete(m.rat, a.ID)
-			m.Stats.Add("recover.devices_dropped", 1)
-			m.emitLease(LeaseRevoked, a, a.Donor)
+			m.failoverDevice(p, a)
 		}
 	}
 }
@@ -380,6 +376,33 @@ func (m *Monitor) failoverLease(p *sim.Proc, a *Allocation, rebooted bool) {
 		m.Stats.Add("recover.revoke_lost", 1)
 	}
 	m.Stats.Add("recover.revoked", 1)
+	m.emitLease(LeaseRevoked, a, oldDonor)
+	m.notifyDelegateMoved(p, a.Deleg, a.Donor, true)
+}
+
+// failoverDevice re-places a device lease whose donor died: elect a live
+// donor with a free unit of the same kind, swing the RAT row, and
+// announce the failover so the recipient's lease observer retargets its
+// session and replays what was in flight (device clients own their
+// replay — there is no agent-managed window to relocate). With no
+// candidate the row is dropped and the lease revoked: the recipient's
+// next call surfaces the loss.
+func (m *Monitor) failoverDevice(p *sim.Proc, a *Allocation) {
+	oldDonor := a.Donor
+	for _, cand := range m.donorCandidates(a.Recipient, nil) {
+		if cand.Node == oldDonor || cand.Devices[a.Dev] <= 0 || !m.NodeAlive(cand.Node) {
+			continue
+		}
+		cand.Devices[a.Dev]--
+		a.Donor = cand.Node
+		a.At = m.EP.Eng.Now()
+		m.Stats.Add("recover.devices_replaced", 1)
+		m.emitLease(LeaseFailedOver, a, oldDonor)
+		m.notifyDelegateMoved(p, a.Deleg, a.Donor, false)
+		return
+	}
+	delete(m.rat, a.ID)
+	m.Stats.Add("recover.devices_dropped", 1)
 	m.emitLease(LeaseRevoked, a, oldDonor)
 	m.notifyDelegateMoved(p, a.Deleg, a.Donor, true)
 }

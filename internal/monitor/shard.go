@@ -48,6 +48,9 @@ type RackStatus struct {
 	// telemetry-enabled agents beat).
 	MaxUtil float64
 	HasUtil bool
+	// Devices is the rack's aggregate free device units per kind, as of
+	// the last rackbeat (nil when the rack advertises none).
+	Devices map[DeviceKind]int
 }
 
 // Delegation is one row of the root MN's delegation table: a lease
@@ -66,6 +69,11 @@ type Delegation struct {
 	At            sim.Time
 	Latency       bool   // latency-sensitive class, preserved across re-delegation
 	Trace         uint64 // lease trace id, preserved across re-delegation
+	// Kind is "memory" or a DeviceKind name; Dev is valid for device
+	// delegations. Device delegations have Size 1 (one unit) and carry
+	// the recipient sub-MN's pre-minted alloc id in RecipientBase.
+	Kind string
+	Dev  DeviceKind
 }
 
 // Root is the root Monitor Node of a sharded plane. It brokers nothing
@@ -207,6 +215,7 @@ func (rt *Root) onRackBeat(_ *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	rs.Sub = b.Sub
 	rs.IdleBytes = b.IdleBytes
 	rs.Live = b.Live
+	rs.Devices = b.Devices
 	rs.MaxUtil, rs.HasUtil = b.MaxUtil, b.HasUtil
 	rs.LastBeat = rt.EP.Eng.Now()
 	rs.Beats++
@@ -246,6 +255,34 @@ func (rt *Root) donorRacks(exclude int, size uint64) []*RackStatus {
 	return cands
 }
 
+// donorRacksDev is donorRacks for device borrows: live racks advertising
+// free units of kind, coolest first, then most-units, then rack id.
+func (rt *Root) donorRacksDev(exclude int, kind DeviceKind) []*RackStatus {
+	var cands []*RackStatus
+	for _, rs := range rt.racks {
+		if rs.Rack == exclude || !rt.RackAlive(rs.Rack) || rs.Devices[kind] <= 0 {
+			continue
+		}
+		cands = append(cands, rs)
+	}
+	util := func(rs *RackStatus) float64 {
+		if rs.HasUtil {
+			return rs.MaxUtil
+		}
+		return 0
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if ui, uj := util(cands[i]), util(cands[j]); ui != uj {
+			return ui < uj
+		}
+		if cands[i].Devices[kind] != cands[j].Devices[kind] {
+			return cands[i].Devices[kind] > cands[j].Devices[kind]
+		}
+		return cands[i].Rack < cands[j].Rack
+	})
+	return cands
+}
+
 // delegateTimeout bounds one delegate call: the sub's donor walk can
 // itself burn a few GrantTimeouts on dying candidates.
 func (rt *Root) delegateTimeout() sim.Dur { return 3 * rt.GrantTimeout }
@@ -261,26 +298,38 @@ const rootBorrowCandidates = 2
 // registry's idle-byte account. Shared by the borrow election and
 // rack-death re-delegation so decline/timeout handling cannot drift
 // between them.
-func (rt *Root) delegateTo(p *sim.Proc, rs *RackStatus, delegID int, recipient fabric.NodeID, size, windowBase uint64, policy string, latency bool, trace uint64) (*delegateResp, bool) {
-	req := &delegateReq{DelegID: delegID, Recipient: recipient, Size: size, WindowBase: windowBase, Policy: policy, Latency: latency, Trace: trace}
+func (rt *Root) delegateTo(p *sim.Proc, rs *RackStatus, req *delegateReq) (*delegateResp, bool) {
 	raw, ok := rt.EP.CallTimeout(p, rs.Sub, kindDelegate, 64, req, rt.delegateTimeout())
+	drain := func() {
+		if req.Device {
+			if rs.Devices != nil {
+				rs.Devices[req.Dev] = 0
+			}
+		} else {
+			rs.IdleBytes = 0
+		}
+	}
 	if !ok {
 		// The sub may have granted and lost the response; park a
 		// key-resolved cancellation so the orphaned row (and region)
 		// cannot leak, and so the next candidate's row under the same
 		// delegation id never coexists with this one.
 		rt.Stats.Add("root.delegate_timeouts", 1)
-		rt.cancels[rs.Rack] = append(rt.cancels[rs.Rack], delegID)
-		rs.IdleBytes = 0
+		rt.cancels[rs.Rack] = append(rt.cancels[rs.Rack], req.DelegID)
+		drain()
 		return nil, false
 	}
 	resp := raw.(*delegateResp)
 	if !resp.OK {
 		rt.Stats.Add("root.delegate_declines", 1)
-		rs.IdleBytes = 0
+		drain()
 		return nil, false
 	}
-	rs.IdleBytes -= size
+	if req.Device {
+		rs.Devices[req.Dev]--
+	} else {
+		rs.IdleBytes -= req.Size
+	}
 	return resp, true
 }
 
@@ -294,11 +343,20 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	key := borrowKey{recipient: r.Recipient, base: r.WindowBase}
 	id := rt.nextDelegID
 	rt.nextDelegID++
-	for tried, rs := range rt.donorRacks(r.Rack, r.Size) {
+	kind := "memory"
+	cands := rt.donorRacks(r.Rack, r.Size)
+	if r.Device {
+		kind = r.Dev.String()
+		cands = rt.donorRacksDev(r.Rack, r.Dev)
+	}
+	for tried, rs := range cands {
 		if tried >= rootBorrowCandidates {
 			break
 		}
-		resp, ok := rt.delegateTo(p, rs, id, r.Recipient, r.Size, r.WindowBase, r.Policy, r.Latency, r.Trace)
+		resp, ok := rt.delegateTo(p, rs, &delegateReq{
+			DelegID: id, Recipient: r.Recipient, Size: r.Size, WindowBase: r.WindowBase,
+			Policy: r.Policy, Latency: r.Latency, Trace: r.Trace, Device: r.Device, Dev: r.Dev,
+		})
 		if !ok {
 			continue
 		}
@@ -307,6 +365,7 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 			SubAllocID: resp.AllocID, Donor: resp.Donor,
 			Recipient: r.Recipient, RecipientBase: r.WindowBase,
 			Size: r.Size, At: rt.EP.Eng.Now(), Latency: r.Latency, Trace: r.Trace,
+			Kind: kind, Dev: r.Dev,
 		}
 		if rt.cancelled[key] {
 			// The requesting sub gave up and cancelled while this
@@ -324,6 +383,9 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	}
 	delete(rt.cancelled, key) // a failed election has nothing to cancel
 	rt.Stats.Add("root.borrow_failures", 1)
+	if r.Device {
+		return &rackBorrowResp{OK: false, Err: "no rack with a free " + r.Dev.String()}, 64
+	}
 	return &rackBorrowResp{OK: false, Err: fmt.Sprintf("no rack with %d idle bytes", r.Size)}, 64
 }
 
@@ -338,6 +400,11 @@ func (rt *Root) onBorrowCancel(p *sim.Proc, _ fabric.NodeID, req any) (any, int)
 	for _, id := range sortedKeys(rt.dels) {
 		d, ok := rt.dels[id]
 		if !ok || d.Recipient != c.Recipient || d.RecipientBase != c.RecipientBase {
+			continue
+		}
+		// Device delegations key on a pre-minted alloc id, memory ones on
+		// a window base; never let one kind's cancel tear the other down.
+		if (d.Kind != "" && d.Kind != "memory") != c.Device {
 			continue
 		}
 		delete(rt.dels, id)
@@ -565,19 +632,33 @@ func (rt *Root) redelegateRack(p *sim.Proc, dead int) {
 		// region instead of diverging from the re-delegated truth.
 		rt.tombs[dead] = append(rt.tombs[dead], d.SubAllocID)
 		oldDonor := d.Donor
+		device := d.Kind != "" && d.Kind != "memory"
 		moved := false
-		for _, rs := range rt.donorRacks(dead, d.Size) {
-			resp, ok := rt.delegateTo(p, rs, d.ID, d.Recipient, d.Size, d.RecipientBase, "", d.Latency, d.Trace)
+		cands := rt.donorRacks(dead, d.Size)
+		if device {
+			cands = rt.donorRacksDev(dead, d.Dev)
+		}
+		for _, rs := range cands {
+			resp, ok := rt.delegateTo(p, rs, &delegateReq{
+				DelegID: d.ID, Recipient: d.Recipient, Size: d.Size, WindowBase: d.RecipientBase,
+				Latency: d.Latency, Trace: d.Trace, Device: device, Dev: d.Dev,
+			})
 			if !ok {
 				continue
 			}
 			d.DonorRack, d.Donor, d.SubAllocID = rs.Rack, resp.Donor, resp.AllocID
 			d.At = rt.EP.Eng.Now()
-			rel := &relocateReq{
-				AllocID: d.SubAllocID, RecipientBase: d.RecipientBase, Size: d.Size,
-				OldDonor: oldDonor, NewDonor: resp.Donor, NewDonorBase: resp.DonorBase,
+			if !device {
+				// Device leases carry no hot-plugged window: recipients
+				// learn the new donor from the lease-lifecycle event and
+				// replay in flight work themselves, so only memory leases
+				// need the agent-level relocate.
+				rel := &relocateReq{
+					AllocID: d.SubAllocID, RecipientBase: d.RecipientBase, Size: d.Size,
+					OldDonor: oldDonor, NewDonor: resp.Donor, NewDonorBase: resp.DonorBase,
+				}
+				rt.deliverRelocate(p, d, rel)
 			}
-			rt.deliverRelocate(p, d, rel)
 			rt.Stats.Add("root.redelegated", 1)
 			rt.emitDelegation(LeaseFailedOver, d, oldDonor)
 			moved = true
@@ -588,10 +669,12 @@ func (rt *Root) redelegateRack(p *sim.Proc, dead int) {
 			// recipient's parked accesses fail fast instead of waiting on
 			// a region that no longer exists.
 			delete(rt.dels, d.ID)
-			rv := &revokeReq{AllocID: d.SubAllocID, RecipientBase: d.RecipientBase, Size: d.Size}
-			if _, ok := rt.EP.CallTimeout(p, d.Recipient, kindRevoke, 32, rv, rt.GrantTimeout); !ok {
-				rt.pendingRev[d.ID] = &parkedRevoke{req: rv, to: d.Recipient}
-				rt.Stats.Add("root.revoke_lost", 1)
+			if !device {
+				rv := &revokeReq{AllocID: d.SubAllocID, RecipientBase: d.RecipientBase, Size: d.Size}
+				if _, ok := rt.EP.CallTimeout(p, d.Recipient, kindRevoke, 32, rv, rt.GrantTimeout); !ok {
+					rt.pendingRev[d.ID] = &parkedRevoke{req: rv, to: d.Recipient}
+					rt.Stats.Add("root.revoke_lost", 1)
+				}
 			}
 			rt.Stats.Add("root.revoked", 1)
 			rt.emitDelegation(LeaseRevoked, d, oldDonor)
@@ -689,13 +772,23 @@ func (m *Monitor) StopRackBeat() { m.rackBeatOn = false }
 func (m *Monitor) sendRackBeat(p *sim.Proc, interval sim.Dur) {
 	var idle uint64
 	live := 0
+	var devs map[DeviceKind]int
 	for _, r := range m.rrt {
 		if !r.Dead && m.NodeAlive(r.Node) {
 			idle += r.IdleBytes
 			live++
+			for k, v := range r.Devices {
+				if v <= 0 {
+					continue
+				}
+				if devs == nil {
+					devs = make(map[DeviceKind]int)
+				}
+				devs[k] += v
+			}
 		}
 	}
-	b := &rackBeat{Rack: m.Rack, Sub: m.EP.ID, IdleBytes: idle, Live: live}
+	b := &rackBeat{Rack: m.Rack, Sub: m.EP.ID, IdleBytes: idle, Live: live, Devices: devs}
 	for _, s := range m.tst {
 		if s.HasUtil {
 			b.HasUtil = true
@@ -747,6 +840,40 @@ func (m *Monitor) escalate(p *sim.Proc, from fabric.NodeID, r *AllocMemReq) *All
 	m.delegated[id] = delegatedLease{deleg: resp.DelegID, recipient: from}
 	m.Stats.Add("alloc.delegated", 1)
 	return &AllocMemResp{OK: true, AllocID: id, Donor: resp.Donor, DonorBase: resp.DonorBase}
+}
+
+// escalateDev forwards a device request the rack cannot serve to the
+// root MN — the device mirror of escalate. Devices carry no hot-plug
+// window, so the sub pre-mints the recipient-facing alloc id and rides
+// it in WindowBase as the borrow's cancellation key.
+func (m *Monitor) escalateDev(p *sim.Proc, from fabric.NodeID, r *AllocDevReq) *AllocDevResp {
+	id := m.nextAllocID
+	m.nextAllocID++
+	req := &rackBorrowReq{
+		Rack: m.Rack, Recipient: from, Size: 1, WindowBase: uint64(id),
+		Policy: r.Policy, Trace: r.Trace, Device: true, Dev: r.Kind,
+	}
+	raw, ok := m.EP.CallTimeout(p, m.Upstream, kindRackBorrow, 64, req, m.borrowTimeout())
+	if !ok {
+		// Same lost-response contract as memory escalation: the borrow
+		// may have completed at the root, so cancel by key (parking the
+		// cancel itself when the spine eats it too).
+		m.Stats.Add("alloc.upstream_timeouts", 1)
+		cancel := &borrowCancelReq{Recipient: from, RecipientBase: uint64(id), Device: true}
+		if _, ok := m.EP.CallTimeout(p, m.Upstream, kindBorrowCancel, 32, cancel, m.GrantTimeout); !ok {
+			m.pendingCancels[cancelKey{recipient: from, base: uint64(id)}] = cancel
+			m.Stats.Add("alloc.cancel_lost", 1)
+		}
+		return nil
+	}
+	resp := raw.(*rackBorrowResp)
+	if !resp.OK {
+		m.Stats.Add("alloc.upstream_declines", 1)
+		return nil
+	}
+	m.delegated[id] = delegatedLease{deleg: resp.DelegID, recipient: from}
+	m.Stats.Add("alloc.delegated", 1)
+	return &AllocDevResp{OK: true, AllocID: id, Donor: resp.Donor}
 }
 
 // delegatedLease is a sub-MN's record of one lease another rack backs
@@ -803,6 +930,15 @@ func (m *Monitor) onDelegate(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		m.Stats.Add("delegate.declined", 1)
 		return &delegateResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 64
 	}
+	if r.Device {
+		a, ok := m.allocDevLocal(r.Recipient, r.Dev, pol, r.DelegID, r.Trace)
+		if !ok {
+			m.Stats.Add("delegate.declined", 1)
+			return &delegateResp{OK: false, Err: "no rack donor"}, 64
+		}
+		m.Stats.Add("delegate.granted", 1)
+		return &delegateResp{OK: true, AllocID: a.ID, Donor: a.Donor}, 64
+	}
 	a, ok := m.grantFrom(p, r.Recipient, r.Size, r.WindowBase, r.DelegID, pol, r.Latency, r.Trace)
 	if !ok {
 		m.Stats.Add("delegate.declined", 1)
@@ -821,10 +957,23 @@ func (m *Monitor) onDelegateFree(p *sim.Proc, _ fabric.NodeID, req any) (any, in
 		return &ack{}, 8
 	}
 	delete(m.rat, f.AllocID)
-	m.returnRegion(p, a)
+	m.releaseBacking(p, a)
 	m.Stats.Add("free.delegate_backed", 1)
 	m.emitLease(LeaseReleased, a, a.Donor)
 	return &ack{}, 8
+}
+
+// releaseBacking hands a delegated row's backing to its donor: memory
+// rows hot-return the region, device rows credit the donor's free-unit
+// account (no agent round trip — devices have no hot-plugged state).
+func (m *Monitor) releaseBacking(p *sim.Proc, a *Allocation) {
+	if a.Kind != "memory" {
+		if r, ok := m.rrt[a.Donor]; ok && r.Devices != nil {
+			r.Devices[a.Dev]++
+		}
+		return
+	}
+	m.returnRegion(p, a)
 }
 
 // onDelegateCancel services the root MN's key-resolved cancellation of
@@ -839,7 +988,7 @@ func (m *Monitor) onDelegateCancel(p *sim.Proc, _ fabric.NodeID, req any) (any, 
 			continue
 		}
 		delete(m.rat, id)
-		m.returnRegion(p, a)
+		m.releaseBacking(p, a)
 		m.Stats.Add("free.delegate_cancelled", 1)
 		m.emitLease(LeaseReleased, a, a.Donor)
 	}

@@ -29,6 +29,12 @@ const (
 	// through the sharded monitor plane, a configurable fraction of them
 	// delegated cross-rack over the oversubscribed spine (scale.go).
 	Scale Workload = "scale"
+	// Inference is the device-plane inference farm: open-loop requests
+	// fan out across leased remote accelerators and egress over a bond
+	// of leased remote NICs — on flat meshes optionally under rolling
+	// donor churn, on rack/spine fabrics with a CrossFrac share of the
+	// accelerator leases delegated cross-rack (inference.go).
+	Inference Workload = "inference"
 )
 
 // Config shapes one serving scenario run.
@@ -73,10 +79,14 @@ type Config struct {
 	// behind an oversubscribed spine.
 	Racks     int
 	RackNodes int
-	// CrossFrac is the fraction of the Scale working set's leased
-	// windows delegated to other racks — the cross-rack traffic knob
-	// the sweep measures the spine penalty with (Scale only).
+	// CrossFrac is the fraction of the working set's leases delegated
+	// to other racks — the cross-rack traffic knob the sweep measures
+	// the spine penalty with (Scale: remote-memory windows; Inference:
+	// accelerator leases).
 	CrossFrac float64
+	// Fault selects the rolling donor-churn intensity (Inference on
+	// flat meshes only; default FaultNone).
+	Fault FaultRate
 	// Seed drives the arrival and key streams. Everything else in the
 	// scenario uses fixed internal seeds, so two runs with the same
 	// Seed are identical and runs with different Seeds are independent
@@ -99,6 +109,11 @@ type Result struct {
 	ServiceNS float64
 	// MaxQueue is the deepest any request queue got.
 	MaxQueue int
+	// Crashes and DevFailovers count injected donor crashes and
+	// completed device-lease re-placements (Inference under a fault
+	// rate; zero elsewhere).
+	Crashes      int64
+	DevFailovers int64
 }
 
 // Scenario-internal calibration constants. These are deliberately not
@@ -177,6 +192,8 @@ func Run(cfg Config) (*Result, error) {
 		return runTier(cfg)
 	case Scale:
 		return runScale(cfg)
+	case Inference:
+		return runInference(cfg)
 	}
 	return nil, fmt.Errorf("serving: unknown workload %q", cfg.Workload)
 }
