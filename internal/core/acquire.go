@@ -8,6 +8,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/vnic"
 )
 
@@ -100,17 +101,28 @@ func (c *HierCluster) acquireOnce(p *sim.Proc, r Request) (Lease, error) {
 func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, scoped bool, hub *eventHub) (Lease, error) {
 	win := r.On.NextHotplugWindow(r.Size)
 	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, win,
-		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout, Trace: r.trace})
+		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout,
+			Trace: r.trace, Tenant: r.tenant, Class: r.class})
 	if !ok {
 		return nil, fmt.Errorf("core: borrow %d bytes: %w", r.Size, ErrTimeout)
 	}
 	if !resp.OK {
+		if resp.Rejected {
+			return nil, fmt.Errorf("core: borrow %d bytes: %s: %w", r.Size, resp.Err, ErrAdmissionRejected)
+		}
 		if scoped {
 			return nil, fmt.Errorf("core: borrow %d bytes (scope %d): %s: %w", r.Size, scope, resp.Err, ErrUnavailable)
 		}
 		return nil, fmt.Errorf("core: borrow %d bytes: %s: %w", r.Size, resp.Err, ErrUnavailable)
 	}
-	lease, err := mountCRMA(p, r.On, resp.Donor, win, resp.DonorBase, r.Size)
+	// Admission may have degraded the grant to a smaller window; the
+	// hot-plug window was sized for the full request, so the smaller
+	// region mounts at the same base with room to spare.
+	size := r.Size
+	if resp.Granted > 0 && resp.Granted < r.Size {
+		size = resp.Granted
+	}
+	lease, err := mountCRMA(p, r.On, resp.Donor, win, resp.DonorBase, size)
 	if err != nil {
 		// The grant committed MN-side (RAT row live, donor region
 		// hot-removed); a recipient-side mount failure must hand it back
@@ -119,7 +131,7 @@ func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.Alloc
 		return nil, err
 	}
 	lease.kind, lease.allocID, lease.mn, lease.hub, lease.trace = Memory, resp.AllocID, mn, hub, r.trace
-	emitGranted(hub, p, Memory, r.On.ID, resp.Donor, r.Size, win, r.trace)
+	emitGranted(hub, p, Memory, r.On.ID, resp.Donor, size, win, r.trace, r.tenant, r.class)
 	return lease, nil
 }
 
@@ -127,17 +139,25 @@ func acquireMemory(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.Alloc
 // remote-swap block device.
 func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, hub *eventHub) (Lease, error) {
 	resp, ok := monitor.RequestMemoryOpts(p, r.On.EP, mn, r.Size, 0,
-		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout, Trace: r.trace})
+		monitor.MemReqOpts{Scope: scope, Policy: r.policy, Latency: r.latency, Timeout: r.timeout,
+			Trace: r.trace, Tenant: r.tenant, Class: r.class})
 	if !ok {
 		return nil, fmt.Errorf("core: borrow swap %d bytes: %w", r.Size, ErrTimeout)
 	}
 	if !resp.OK {
+		if resp.Rejected {
+			return nil, fmt.Errorf("core: borrow swap %d bytes: %s: %w", r.Size, resp.Err, ErrAdmissionRejected)
+		}
 		return nil, fmt.Errorf("core: borrow swap %d bytes: %s: %w", r.Size, resp.Err, ErrUnavailable)
+	}
+	size := r.Size
+	if resp.Granted > 0 && resp.Granted < r.Size {
+		size = resp.Granted
 	}
 	lease := &SwapLease{
 		Recipient: r.On,
 		DonorBase: resp.DonorBase,
-		Size:      r.Size,
+		Size:      size,
 		Dev: &memsys.RemoteSwap{P: r.On.P, RDMA: r.On.EP.RDMA,
 			Donor: resp.Donor, Base: resp.DonorBase},
 		donor:   resp.Donor,
@@ -147,7 +167,7 @@ func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocSc
 		hub:     hub,
 		trace:   r.trace,
 	}
-	emitGranted(hub, p, Swap, r.On.ID, resp.Donor, r.Size, 0, r.trace)
+	emitGranted(hub, p, Swap, r.On.ID, resp.Donor, size, 0, r.trace, r.tenant, r.class)
 	return lease, nil
 }
 
@@ -156,11 +176,15 @@ func acquireSwap(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocSc
 // an accel.Service (its agent advertises the device count).
 func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, nodes []*node.Node, hub *eventHub) (Lease, error) {
 	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevAccelerator,
-		monitor.DevReqOpts{Scope: scope, Policy: r.policy, Timeout: r.timeout, Trace: r.trace})
+		monitor.DevReqOpts{Scope: scope, Policy: r.policy, Timeout: r.timeout,
+			Trace: r.trace, Tenant: r.tenant, Class: r.class})
 	if !ok {
 		return nil, fmt.Errorf("core: attach accelerator: %w", ErrTimeout)
 	}
 	if !resp.OK {
+		if resp.Rejected {
+			return nil, fmt.Errorf("core: attach accelerator: %s: %w", resp.Err, ErrAdmissionRejected)
+		}
 		return nil, fmt.Errorf("core: attach accelerator: %s: %w", resp.Err, ErrUnavailable)
 	}
 	h := r.client.Attach(resp.Donor, r.device, r.exclusive)
@@ -177,7 +201,7 @@ func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocS
 	// Follow recovery live: a donor failover retargets the handle and
 	// replays in-flight chunks against the replacement device.
 	lease.cancelWatch = hub.observe(lease.onEvent)
-	emitGranted(hub, p, Accel, r.On.ID, resp.Donor, 1, 0, r.trace)
+	emitGranted(hub, p, Accel, r.On.ID, resp.Donor, 1, 0, r.trace, r.tenant, r.class)
 	return lease, nil
 }
 
@@ -185,11 +209,15 @@ func acquireAccel(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocS
 // chosen donor's physical NIC (created here on its behalf).
 func acquireNIC(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocScope, eng *sim.Engine, params *sim.Params, nodes []*node.Node, hub *eventHub) (Lease, error) {
 	resp, ok := monitor.RequestDeviceOpts(p, r.On.EP, mn, monitor.DevNIC,
-		monitor.DevReqOpts{Scope: scope, Policy: r.policy, Timeout: r.timeout, Trace: r.trace})
+		monitor.DevReqOpts{Scope: scope, Policy: r.policy, Timeout: r.timeout,
+			Trace: r.trace, Tenant: r.tenant, Class: r.class})
 	if !ok {
 		return nil, fmt.Errorf("core: attach NIC: %w", ErrTimeout)
 	}
 	if !resp.OK {
+		if resp.Rejected {
+			return nil, fmt.Errorf("core: attach NIC: %s: %w", resp.Err, ErrAdmissionRejected)
+		}
 		return nil, fmt.Errorf("core: attach NIC: %s: %w", resp.Err, ErrUnavailable)
 	}
 	donor := nodes[resp.Donor]
@@ -210,7 +238,7 @@ func acquireNIC(p *sim.Proc, r Request, mn fabric.NodeID, scope monitor.AllocSco
 	// Follow recovery live: a donor failover rebuilds the VNIC path
 	// against the replacement donor's physical NIC.
 	lease.cancelWatch = hub.observe(lease.onEvent)
-	emitGranted(hub, p, NIC, r.On.ID, resp.Donor, 1, 0, r.trace)
+	emitGranted(hub, p, NIC, r.On.ID, resp.Donor, 1, 0, r.trace, r.tenant, r.class)
 	return lease, nil
 }
 
@@ -224,7 +252,7 @@ func acquireDirect(p *sim.Proc, r Request, hub *eventHub) (Lease, error) {
 			return nil, err
 		}
 		lease.hub, lease.trace = hub, r.trace
-		emitGranted(hub, p, DirectMemory, r.On.ID, r.donor.ID, r.Size, lease.WindowBase, r.trace)
+		emitGranted(hub, p, DirectMemory, r.On.ID, r.donor.ID, r.Size, lease.WindowBase, r.trace, 0, tenancy.ClassNone)
 		return lease, nil
 	}
 	lease, err := attachSwapDirect(p, r.On, r.donor, r.Size)
@@ -232,14 +260,15 @@ func acquireDirect(p *sim.Proc, r Request, hub *eventHub) (Lease, error) {
 		return nil, err
 	}
 	lease.hub, lease.trace = hub, r.trace
-	emitGranted(hub, p, DirectSwap, r.On.ID, r.donor.ID, r.Size, 0, r.trace)
+	emitGranted(hub, p, DirectSwap, r.On.ID, r.donor.ID, r.Size, 0, r.trace, 0, tenancy.ClassNone)
 	return lease, nil
 }
 
 // emitGranted announces a successful grant on the plane's stream.
-func emitGranted(hub *eventHub, p *sim.Proc, kind Kind, recipient, donor fabric.NodeID, size, window uint64, trace uint64) {
+func emitGranted(hub *eventHub, p *sim.Proc, kind Kind, recipient, donor fabric.NodeID, size, window uint64, trace, tenant uint64, class tenancy.Class) {
 	hub.emit(Event{
 		Type: LeaseGranted, Kind: kind, At: p.Now(), Trace: trace,
 		Recipient: recipient, Donor: donor, Size: size, Window: window,
+		Tenant: tenant, Class: class,
 	})
 }

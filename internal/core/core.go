@@ -14,6 +14,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 )
 
 // Config shapes a cluster. Zero values select the paper's prototype
@@ -59,6 +60,16 @@ type Config struct {
 	// hot-plug latency (see monitor.Monitor.EnableSparePool).
 	SpareRegionBytes uint64
 	SparesPerDonor   int
+	// AdaptiveSpares scales the spare pool's per-donor count with the
+	// measured crash rate when SpareRegionBytes > 0: SparesPerDonor
+	// becomes the floor and AdaptiveSpares the ceiling (see
+	// monitor.Monitor.EnableAdaptiveSparePool). 0 keeps the pool fixed.
+	AdaptiveSpares int
+	// Admission installs the MN's tenancy admission policy (per-class
+	// budgets, queue bounds, preemption; see tenancy.Default). nil — the
+	// default — disables admission entirely: every request, tagged or
+	// not, takes the pre-tenancy grant path.
+	Admission *tenancy.Config
 }
 
 // Cluster is a running Venice rack. It implements Plane: acquire any
@@ -118,6 +129,7 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.SweepInterval > 0 {
 		c.MN.SweepInterval = cfg.SweepInterval
 	}
+	c.MN.Admission = cfg.Admission
 	if cfg.StartAgents {
 		for _, a := range c.Agents {
 			a.Start(cfg.MonitorNode)
@@ -131,7 +143,11 @@ func NewCluster(cfg Config) *Cluster {
 		if per <= 0 {
 			per = 1
 		}
-		c.MN.EnableSparePool(cfg.SpareRegionBytes, per)
+		if cfg.AdaptiveSpares > per {
+			c.MN.EnableAdaptiveSparePool(cfg.SpareRegionBytes, per, cfg.AdaptiveSpares)
+		} else {
+			c.MN.EnableSparePool(cfg.SpareRegionBytes, per)
+		}
 	}
 	if cfg.MigrateInterval > 0 {
 		c.MN.MigrateUtil = cfg.MigrateUtil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 )
 
 // HierConfig shapes a multi-rack fabric: racks of 3D-mesh nodes joined
@@ -49,6 +50,12 @@ type HierConfig struct {
 	// the event queue alive; drive such clusters with RunFor or
 	// step-until-done.
 	StartRecovery bool
+
+	// Admission installs the tenancy admission policy on every rack's
+	// sub-MN (each gates against its own rack's pressure; delegated
+	// cross-rack grants get the donor rack's restricted admit/decline
+	// check). nil disables admission — the pre-tenancy grant path.
+	Admission *tenancy.Config
 }
 
 // HierCluster is a running multi-rack Venice fabric.
@@ -161,6 +168,7 @@ func NewHierCluster(cfg HierConfig) *HierCluster {
 		subNode := c.SubNode(r)
 		sub := monitor.New(c.Nodes[subNode].EP, h.Topology)
 		sub.Observe(c.hub.forwardRecovery)
+		sub.Admission = cfg.Admission
 		sub.HeartbeatTimeout = hbTimeout
 		if cfg.SweepInterval > 0 {
 			sub.SweepInterval = cfg.SweepInterval

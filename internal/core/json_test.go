@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 )
 
 // TestEventJSONRoundTrip pins the wire form of Event: every Kind and
@@ -41,7 +42,7 @@ func TestEventJSONRoundTrip(t *testing.T) {
 	}
 
 	types := []EventType{LeaseGranted, LeaseReleased, LeaseRevoked,
-		LeaseFailedOver, LeaseAcquireFailed, LeaseMigrated}
+		LeaseFailedOver, LeaseAcquireFailed, LeaseMigrated, LeasePreempted}
 	for _, et := range types {
 		b, err := json.Marshal(et)
 		if err != nil {
@@ -64,6 +65,7 @@ func TestEventJSONRoundTrip(t *testing.T) {
 		Type: LeaseFailedOver, Kind: Memory, At: sim.Time(1234567),
 		Trace: 42, Recipient: 7, Donor: 3, OldDonor: 9,
 		Size: 1 << 20, Window: 4096, Err: "boom",
+		Tenant: 77, Class: tenancy.Latency,
 	}
 	b, err := json.Marshal(ev)
 	if err != nil {
@@ -88,6 +90,7 @@ func TestEventTypeStringsStable(t *testing.T) {
 		LeaseFailedOver.String():    "failed-over",
 		LeaseAcquireFailed.String(): "acquire-failed",
 		LeaseMigrated.String():      "migrated",
+		LeasePreempted.String():     "preempted",
 		Memory.String():             "memory",
 		Swap.String():               "swap",
 		Accel.String():              "accelerator",

@@ -11,6 +11,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 )
 
 // This file is the unified resource-plane surface: one typed Acquire
@@ -133,6 +134,8 @@ type Request struct {
 	retry     RetryPolicy
 	policy    string
 	latency   bool
+	tenant    uint64
+	class     tenancy.Class
 
 	// trace is the lease trace id acquireWithRetry mints before the
 	// first attempt; every event of the resulting lease carries it.
@@ -211,6 +214,18 @@ func WithPolicy(name string) Option {
 	return func(r *Request) { r.policy = name }
 }
 
+// WithTenant tags an MN-brokered request with the owning tenant's
+// identity and SLO class. On a plane configured with an admission
+// policy (Config.Admission), the MN gates class-tagged grants under
+// pressure — admit, degrade to a smaller window, queue for a bounded
+// wait, or reject with ErrAdmissionRejected — and may revoke
+// Preemptible-class leases to make room for a higher class. Untagged
+// requests (the zero tenancy.ClassNone) bypass admission entirely, so
+// pre-tenancy scenarios are byte-identical.
+func WithTenant(id uint64, class tenancy.Class) Option {
+	return func(r *Request) { r.tenant, r.class = id, class }
+}
+
 // WithLatencySensitive marks a memory or swap lease's traffic
 // latency-sensitive: the Monitor Node's migration loop (when running)
 // relieves the lease's path by moving bulk leases away from its hot
@@ -234,6 +249,12 @@ var (
 	// ErrTimeout marks an MN round trip that outran WithTimeout.
 	// Retryable.
 	ErrTimeout = errors.New("monitor call timed out")
+	// ErrAdmissionRejected marks a class-tagged request the MN's
+	// admission controller turned away: the class is over its budget and
+	// neither queueing, degrading, nor preemption could make room. Not
+	// retried by WithRetry — the caller owns its backoff (the verdict is
+	// policy, not a transient race; see tenancy.Backoff).
+	ErrAdmissionRejected = errors.New("admission rejected")
 )
 
 // validate rejects requests that can never succeed. hier tells whether
@@ -306,6 +327,16 @@ func (r *Request) validate(hier bool) error {
 		// The traffic class steers the MN's migration loop, which only
 		// manages memory rows.
 		return fmt.Errorf("%w: latency-sensitive class on a %s request", ErrBadRequest, r.Kind)
+	}
+	if r.class != tenancy.ClassNone {
+		// Tenancy classes gate the MN's admission controller; direct
+		// attachments never cross the MN.
+		if r.Kind.direct() {
+			return fmt.Errorf("%w: tenant class on a %s request", ErrBadRequest, r.Kind)
+		}
+		if r.class >= tenancy.NumClasses {
+			return fmt.Errorf("%w: unknown tenant class %d", ErrBadRequest, uint8(r.class))
+		}
 	}
 	return nil
 }
@@ -380,6 +411,12 @@ const (
 	// moved a lease's backing to a donor behind a cooler path (Donor is
 	// the new one, OldDonor the still-healthy one it moved off of).
 	LeaseMigrated
+	// LeasePreempted fires when the MN's admission plane revoked a
+	// Preemptible-class lease to make room for a higher class. The
+	// window goes dead like a revocation, but the donor stayed healthy —
+	// the victim is expected to re-acquire with backoff once pressure
+	// relents.
+	LeasePreempted
 )
 
 // eventTypeNames maps every event type onto its String form; it is the
@@ -387,7 +424,7 @@ const (
 var eventTypeNames = map[EventType]string{
 	LeaseGranted: "granted", LeaseReleased: "released", LeaseRevoked: "revoked",
 	LeaseFailedOver: "failed-over", LeaseAcquireFailed: "acquire-failed",
-	LeaseMigrated: "migrated",
+	LeaseMigrated: "migrated", LeasePreempted: "preempted",
 }
 
 // String names the event type.
@@ -453,6 +490,11 @@ type Event struct {
 	Size uint64 `json:"size"`
 	// Window is the recipient-side window base, when the lease has one.
 	Window uint64 `json:"window,omitempty"`
+	// Tenant and Class identify the owning tenant for class-tagged
+	// leases (WithTenant); both are omitted for untagged ones, keeping
+	// the pre-tenancy wire form byte-identical.
+	Tenant uint64        `json:"tenant,omitempty"`
+	Class  tenancy.Class `json:"class,omitempty"`
 	// Err carries the failure for acquire-failed events.
 	Err string `json:"err,omitempty"`
 }
@@ -517,6 +559,8 @@ func (h *eventHub) forwardRecovery(ev monitor.LeaseEvent) {
 		t = LeaseFailedOver
 	case monitor.LeaseMigrated:
 		t = LeaseMigrated
+	case monitor.LeasePreempted:
+		t = LeasePreempted
 	default:
 		return
 	}
@@ -530,6 +574,8 @@ func (h *eventHub) forwardRecovery(ev monitor.LeaseEvent) {
 		OldDonor:  ev.OldDonor,
 		Size:      ev.Alloc.Size,
 		Window:    ev.Alloc.RecipientBase,
+		Tenant:    ev.Alloc.Tenant,
+		Class:     ev.Alloc.Class,
 	})
 }
 

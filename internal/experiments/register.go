@@ -28,6 +28,8 @@ func init() {
 	harness.Register("inference-smoke", inferSmokeSpec())
 	harness.Register("migrate-smoke", migrateSmokeSpec())
 	harness.Register("engine-smoke", engineSmokeSpec())
+	harness.Register("serving-tenancy", tenancySweepSpec())
+	harness.Register("tenancy-smoke", tenancySmokeSpec())
 	harness.Register("ablation-mshr", ablationMSHRSpec(ablationMSHRs))
 	harness.Register("ablation-readahead", ablationReadaheadSpec())
 	harness.Register("ablation-window", ablationWindowSpec())

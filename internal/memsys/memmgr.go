@@ -15,6 +15,12 @@ type MemManager struct {
 
 	used    uint64
 	removed []removedRegion
+	// holes are freed former-removals below nextTop, kept for reuse:
+	// returns rarely arrive in LIFO order, so without a free list the
+	// top-carve cursor would only ever descend and a long-lived node
+	// with acquire/release churn would exhaust its address space while
+	// plenty of bytes sit idle.
+	holes   []removedRegion
 	nextTop uint64 // hot-removals carve from the top of physical memory
 }
 
@@ -71,6 +77,18 @@ func (m *MemManager) HotRemove(p *sim.Proc, size uint64) (uint64, error) {
 		return 0, fmt.Errorf("memsys: hot-remove %d exceeds idle %d", size, m.Idle())
 	}
 	p.Sleep(m.P.HotplugOp)
+	// Reuse an exact-fit hole left by an earlier return before carving
+	// fresh address space from the top.
+	for i, h := range m.holes {
+		if h.size == size {
+			m.holes = append(m.holes[:i:i], m.holes[i+1:]...)
+			m.removed = append(m.removed, h)
+			return h.base, nil
+		}
+	}
+	if m.nextTop < size {
+		return 0, fmt.Errorf("memsys: hot-remove %d: address space exhausted (top %#x)", size, m.nextTop)
+	}
 	m.nextTop -= size
 	base := m.nextTop
 	m.removed = append(m.removed, removedRegion{base: base, size: size})
@@ -84,22 +102,61 @@ func (m *MemManager) HotRemove(p *sim.Proc, size uint64) (uint64, error) {
 func (m *MemManager) Reboot() {
 	m.used = 0
 	m.removed = nil
+	m.holes = nil
 	m.nextTop = m.Total
 }
 
 // HotAddReturn returns a previously hot-removed region to the local OS
 // (the stop-sharing path). The region must match a removal exactly.
 func (m *MemManager) HotAddReturn(p *sim.Proc, base, size uint64) error {
+	if !m.hasRemoved(base, size) {
+		return fmt.Errorf("memsys: no removed region [%#x,+%#x) to return", base, size)
+	}
+	p.Sleep(m.P.HotplugOp)
+	// Re-find after the sleep: concurrent returns to this node may have
+	// reshuffled the slice while this one was blocked on the hot-plug.
 	for i, r := range m.removed {
 		if r.base == base && r.size == size {
-			p.Sleep(m.P.HotplugOp)
-			m.removed = append(m.removed[:i], m.removed[i+1:]...)
-			// Freed regions at the top merge back trivially in this model.
+			m.removed = append(m.removed[:i:i], m.removed[i+1:]...)
 			if base == m.nextTop {
+				// Freed regions at the top merge back directly, then absorb
+				// any holes that became adjacent.
 				m.nextTop += size
+				m.absorbHoles()
+			} else {
+				m.holes = append(m.holes, removedRegion{base: base, size: size})
 			}
 			return nil
 		}
 	}
-	return fmt.Errorf("memsys: no removed region [%#x,+%#x) to return", base, size)
+	return fmt.Errorf("memsys: removed region [%#x,+%#x) vanished during return", base, size)
+}
+
+// hasRemoved reports whether an exactly matching removal exists.
+func (m *MemManager) hasRemoved(base, size uint64) bool {
+	for _, r := range m.removed {
+		if r.base == base && r.size == size {
+			return true
+		}
+	}
+	return false
+}
+
+// absorbHoles merges free-list entries that sit at the carve cursor
+// back into the top region, repeating until no hole is adjacent.
+func (m *MemManager) absorbHoles() {
+	for {
+		merged := false
+		for i, h := range m.holes {
+			if h.base == m.nextTop {
+				m.nextTop += h.size
+				m.holes = append(m.holes[:i:i], m.holes[i+1:]...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return
+		}
+	}
 }

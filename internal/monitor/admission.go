@@ -1,0 +1,295 @@
+package monitor
+
+import (
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/tenancy"
+)
+
+// This file is the monitor plane's half of the tenancy subsystem: the
+// admission gate that onAllocMem/onAllocDev run for class-tagged
+// requests, and the preemption engine that revokes Preemptible-class
+// leases when a higher class would otherwise be rejected. Policy itself
+// (the per-class thresholds, the Decide function) lives in
+// internal/tenancy; this file owns pressure measurement, the bounded
+// queue wait, and the victim scan — the parts that need the MN's
+// tables and its blocking RPC machinery.
+//
+// Every handler here runs in its own transport proc, so the queue wait
+// may sleep without wedging the MN: other requests (and the frees and
+// preemptions that relieve pressure) keep being serviced meanwhile.
+// On a sub-MN the gate sees only its rack's pressure — each rack
+// admits against its own pool, mirroring how the sharded plane splits
+// every other table.
+
+// memPressure reports the pool's current idle and capacity in bytes:
+// idle sums the live RRT rows, capacity adds back the bytes leased out
+// in live memory RAT rows (so capacity stays stable as grants move
+// bytes from idle to leased). Spare-pool carves are deliberately not
+// added back — a region parked for failover is not admittable capacity.
+func (m *Monitor) memPressure() (idle, capacity uint64) {
+	for _, r := range m.rrt {
+		if r.Dead || !m.NodeAlive(r.Node) {
+			continue
+		}
+		idle += r.IdleBytes
+	}
+	capacity = idle
+	for _, a := range m.rat {
+		if a.Kind != "memory" || !m.NodeAlive(a.Donor) {
+			continue
+		}
+		capacity += a.Size
+	}
+	return idle, capacity
+}
+
+// devPressure is memPressure in device units of one kind: free counts
+// the live RRT rows' available units, capacity adds back the leased
+// ones.
+func (m *Monitor) devPressure(kind DeviceKind) (free, capacity uint64) {
+	for _, r := range m.rrt {
+		if r.Dead || !m.NodeAlive(r.Node) {
+			continue
+		}
+		if n := r.Devices[kind]; n > 0 {
+			free += uint64(n)
+		}
+	}
+	capacity = free
+	for _, a := range m.rat {
+		if a.Kind == "memory" || a.Dev != kind || !m.NodeAlive(a.Donor) {
+			continue
+		}
+		capacity += a.Size // device rows have Size 1
+	}
+	return free, capacity
+}
+
+// admitMem runs the admission controller for one class-tagged memory
+// request. It returns the granted size — r.Size when admitted in full,
+// smaller when degraded — or rejected=true. A Queue verdict parks the
+// request right here, re-running the decision every poll tick until it
+// admits or the class's MaxWait expires; expiry falls through to the
+// preemption attempt (classes above Preemptible only) and then to
+// rejection.
+func (m *Monitor) admitMem(p *sim.Proc, from fabric.NodeID, r *AllocMemReq) (granted uint64, rejected bool) {
+	cfg := m.Admission
+	dec, g := m.decideMem(r)
+	if dec == tenancy.Queue {
+		m.Stats.Add("admit.queued", 1)
+		var waited sim.Dur
+		maxWait := cfg.PerClass[r.Class].MaxWait
+		for dec == tenancy.Queue && waited < maxWait {
+			p.Sleep(cfg.Poll())
+			waited += cfg.Poll()
+			dec, g = m.decideMem(r)
+		}
+		if dec == tenancy.Admit || dec == tenancy.Degrade {
+			m.Stats.Add("admit.queue_admits", 1)
+		} else {
+			// The wait is over and pressure never relented; from here the
+			// request is treated exactly like an immediate rejection.
+			dec = tenancy.Reject
+		}
+	}
+	if dec == tenancy.Reject && r.Class > tenancy.Preemptible && cfg.Preempt {
+		if m.preemptMem(p, from, r) {
+			dec, g = m.decideMem(r)
+		}
+	}
+	switch dec {
+	case tenancy.Admit:
+		return r.Size, false
+	case tenancy.Degrade:
+		m.Stats.Add("admit.degraded", 1)
+		return g, false
+	}
+	return 0, true
+}
+
+// decideMem evaluates one memory request against current pressure.
+func (m *Monitor) decideMem(r *AllocMemReq) (tenancy.Decision, uint64) {
+	idle, capacity := m.memPressure()
+	return m.Admission.Decide(r.Class, r.Size, idle, capacity)
+}
+
+// admitDev is admitMem in device units. Degradation cannot apply to a
+// single-unit grant, so the verdict is admit, queue-then-admit, or
+// reject (after the preemption attempt).
+func (m *Monitor) admitDev(p *sim.Proc, from fabric.NodeID, r *AllocDevReq) (rejected bool) {
+	cfg := m.Admission
+	dec := m.decideDev(r)
+	if dec == tenancy.Queue {
+		m.Stats.Add("admit.queued", 1)
+		var waited sim.Dur
+		maxWait := cfg.PerClass[r.Class].MaxWait
+		for dec == tenancy.Queue && waited < maxWait {
+			p.Sleep(cfg.Poll())
+			waited += cfg.Poll()
+			dec = m.decideDev(r)
+		}
+		if dec == tenancy.Admit {
+			m.Stats.Add("admit.queue_admits", 1)
+		} else {
+			dec = tenancy.Reject
+		}
+	}
+	if dec == tenancy.Reject && r.Class > tenancy.Preemptible && cfg.Preempt {
+		if m.preemptDev(p, from, r.Kind) {
+			dec = m.decideDev(r)
+		}
+	}
+	return dec != tenancy.Admit
+}
+
+// decideDev evaluates one device request against current pressure.
+func (m *Monitor) decideDev(r *AllocDevReq) tenancy.Decision {
+	free, capacity := m.devPressure(r.Kind)
+	dec, _ := m.Admission.Decide(r.Class, 1, free, capacity)
+	return dec
+}
+
+// preemptMem revokes Preemptible-class memory leases until the pending
+// request both clears its class budget and has a live donor with
+// enough contiguous idle bytes — or the pool runs out of victims.
+// Victim order is deterministic: donors in node-id order (preferring
+// one that can reach a contiguous fit), rows in RAT-id order within a
+// donor. Reports whether the caller should re-run the decision.
+func (m *Monitor) preemptMem(p *sim.Proc, from fabric.NodeID, r *AllocMemReq) bool {
+	preempted := false
+	for {
+		if dec, _ := m.decideMem(r); dec == tenancy.Admit || dec == tenancy.Degrade {
+			if m.donorFits(from, r.Size) {
+				return true
+			}
+		}
+		victim := m.pickVictimMem(from, r.Size)
+		if victim == nil {
+			if !preempted {
+				m.Stats.Add("preempt.exhausted", 1)
+			}
+			return preempted
+		}
+		m.preemptLease(p, victim)
+		preempted = true
+	}
+}
+
+// donorFits reports whether some live donor other than the requester
+// has size idle bytes — the contiguity condition a budget-level Decide
+// cannot see.
+func (m *Monitor) donorFits(requester fabric.NodeID, size uint64) bool {
+	for _, r := range m.rrt {
+		if r.Node == requester || r.Dead || !m.NodeAlive(r.Node) {
+			continue
+		}
+		if r.IdleBytes >= size {
+			return true
+		}
+	}
+	return false
+}
+
+// pickVictimMem selects the next Preemptible memory lease to revoke:
+// the lowest-RAT-id row on the first donor (node-id order) whose
+// idle-plus-preemptible bytes could reach a contiguous fit for the
+// pending request. When no donor can ever fit it, the first victim in
+// the same order still goes — its bytes lower the class's budget usage
+// even if the contiguity goal is out of reach.
+func (m *Monitor) pickVictimMem(requester fabric.NodeID, size uint64) *Allocation {
+	fallback := -1
+	for _, id := range m.sortedDonorIDs() {
+		r := m.rrt[id]
+		if r.Dead || !m.NodeAlive(id) {
+			continue
+		}
+		low := -1
+		preemptible := uint64(0)
+		for _, aid := range sortedKeys(m.rat) {
+			a := m.rat[aid]
+			if a.Donor != id || a.Kind != "memory" || a.Class != tenancy.Preemptible {
+				continue
+			}
+			preemptible += a.Size
+			if low < 0 {
+				low = aid
+			}
+		}
+		if low < 0 {
+			continue
+		}
+		if id != requester && r.IdleBytes+preemptible >= size {
+			return m.rat[low]
+		}
+		if fallback < 0 {
+			fallback = low
+		}
+	}
+	if fallback >= 0 {
+		return m.rat[fallback]
+	}
+	return nil
+}
+
+// sortedDonorIDs returns the RRT's node ids in ascending order — the
+// deterministic scan order the victim walk shares with the recovery
+// sweep.
+func (m *Monitor) sortedDonorIDs() []fabric.NodeID {
+	ids := make([]fabric.NodeID, 0, len(m.rrt))
+	for id := range m.rrt {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// preemptLease revokes one Preemptible memory lease through the same
+// machinery recovery uses for a donor that died with no candidate
+// (failoverLease's revoke branch) — except the donor here is alive, so
+// the region hot-returns to it immediately instead of queueing as an
+// orphan. The victim's agent gets the standard revoke notice (window
+// goes dead, parked accesses unwedge), parked for sweep retry if the
+// delivery is lost, and the row's lifecycle stream announces
+// LeasePreempted so the victim can re-acquire with backoff.
+func (m *Monitor) preemptLease(p *sim.Proc, a *Allocation) {
+	delete(m.rat, a.ID)
+	m.returnRegion(p, a)
+	rv := &revokeReq{AllocID: a.ID, RecipientBase: a.RecipientBase, Size: a.Size}
+	recipientInc := m.incarnationOf(a.Recipient)
+	if _, ok := m.EP.CallTimeout(p, a.Recipient, kindRevoke, 32, rv, m.GrantTimeout); !ok {
+		m.pendingRevokes[a.ID] = &pendingNotice[revokeReq]{
+			req: rv, recipient: a.Recipient, recipientInc: recipientInc,
+		}
+		m.Stats.Add("preempt.revoke_lost", 1)
+	}
+	m.Stats.Add("preempt.memory", 1)
+	m.emitLease(LeasePreempted, a, a.Donor)
+	m.notifyDelegateMoved(p, a.Deleg, a.Donor, true)
+}
+
+// preemptDev revokes one Preemptible device lease of the given kind —
+// a pure table operation plus the lifecycle event, mirroring
+// failoverDevice's no-candidate branch (device clients follow the
+// event stream; there is no agent-managed window to kill).
+func (m *Monitor) preemptDev(p *sim.Proc, requester fabric.NodeID, kind DeviceKind) bool {
+	_ = requester // devices have no contiguity constraint; any victim serves
+	for _, aid := range sortedKeys(m.rat) {
+		a := m.rat[aid]
+		if a.Kind == "memory" || a.Dev != kind || a.Class != tenancy.Preemptible {
+			continue
+		}
+		delete(m.rat, aid)
+		if r, ok := m.rrt[a.Donor]; ok && r.Devices != nil {
+			r.Devices[a.Dev]++
+		}
+		m.Stats.Add("preempt.device", 1)
+		m.emitLease(LeasePreempted, a, a.Donor)
+		m.notifyDelegateMoved(p, a.Deleg, a.Donor, true)
+		return true
+	}
+	m.Stats.Add("preempt.exhausted", 1)
+	return false
+}

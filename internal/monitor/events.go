@@ -37,6 +37,11 @@ const (
 	// a live lease to a donor behind a cooler path (the old donor stays
 	// healthy and gets its region back).
 	LeaseMigrated
+	// LeasePreempted fires when the admission plane revoked a
+	// Preemptible-class lease to make room for a higher class
+	// (admission.go). The victim's window goes dead like a revocation,
+	// but the donor is alive — re-acquiring (with backoff) is expected.
+	LeasePreempted
 )
 
 // String names the event type.
@@ -52,6 +57,8 @@ func (t LeaseEventType) String() string {
 		return "failed-over"
 	case LeaseMigrated:
 		return "migrated"
+	case LeasePreempted:
+		return "preempted"
 	default:
 		return "unknown"
 	}
@@ -148,7 +155,7 @@ func (rt *Root) emitDelegation(t LeaseEventType, d *Delegation, oldDonor fabric.
 		Alloc: Allocation{
 			ID: d.ID, Kind: kind, Dev: d.Dev, Donor: d.Donor, Recipient: d.Recipient,
 			RecipientBase: d.RecipientBase, Size: d.Size, At: d.At, Deleg: d.ID,
-			Trace: d.Trace,
+			Trace: d.Trace, Tenant: d.Tenant, Class: d.Class,
 		},
 		OldDonor: oldDonor,
 	})

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/transport"
 )
 
@@ -55,6 +56,13 @@ type Allocation struct {
 	// revocation) carry it so observability layers can chain them into
 	// one per-lease span history. Purely passive.
 	Trace uint64
+
+	// Tenant/Class identify the owning tenant as of the request
+	// (admission.go). Class steers the preemption scan: Preemptible rows
+	// are the victims it may revoke for a higher class. Zero values mark
+	// a pre-tenancy (untagged) lease.
+	Tenant uint64
+	Class  tenancy.Class
 }
 
 // LinkStatus is one row of the Topology Status Table. Util carries the
@@ -85,6 +93,14 @@ type Monitor struct {
 	// Policy orders donor candidates; nil means the prototype's
 	// distance-first policy.
 	Policy Policy
+
+	// Admission is the tenancy admission controller's policy
+	// (admission.go): per-class thresholds plus the preemption switch,
+	// consulted before every tagged AllocMem/AllocDev grant. nil (the
+	// default) disables admission entirely — every pre-tenancy workload
+	// runs byte-identically. On a sub-MN the controller gates against
+	// the rack's own pressure.
+	Admission *tenancy.Config
 
 	// HeartbeatTimeout marks a node dead when its reports stop.
 	HeartbeatTimeout sim.Dur
@@ -142,6 +158,14 @@ type Monitor struct {
 	sparePer     int
 	spares       map[fabric.NodeID][]spareRegion
 	sparePending map[fabric.NodeID]int
+	// Adaptive sizing state (EnableAdaptiveSparePool): the sweep scales
+	// sparePer between spareMin and spareMax from an EWMA of the
+	// per-sweep crash count.
+	spareAdaptive  bool
+	spareMin       int
+	spareMax       int
+	spareCrashEWMA float64
+	spareLastCrash int64
 
 	// Migration loop state (migrate.go).
 	migrationOn bool
@@ -395,19 +419,39 @@ func (m *Monitor) onAllocMem(p *sim.Proc, from fabric.NodeID, req any) (any, int
 	if !ok {
 		return &AllocMemResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 64
 	}
+	// Tagged requests pass the admission controller first: it may admit
+	// the full size, shrink it (degraded grant), hold the request for a
+	// bounded wait, preempt Preemptible leases for a higher class, or
+	// reject outright. Untagged requests (Class zero) bypass it.
+	size := r.Size
+	if m.Admission != nil && r.Class != tenancy.ClassNone {
+		g, rejected := m.admitMem(p, from, r)
+		if rejected {
+			m.Stats.Add("admit.rejected", 1)
+			return &AllocMemResp{OK: false, Rejected: true,
+				Err: fmt.Sprintf("admission: %s class over budget for %d bytes", r.Class, r.Size)}, 64
+		}
+		size = g
+	}
 	if r.Scope != ScopeRemoteRack {
-		if a, ok := m.grantFrom(p, from, r.Size, r.WindowBase, 0, pol, r.Latency, r.Trace); ok {
+		if a, ok := m.grantFrom(p, from, size, r.WindowBase, 0, pol, grantMeta{
+			latency: r.Latency, trace: r.Trace, tenant: r.Tenant, class: r.Class,
+		}); ok {
 			m.Stats.Add("alloc.memory", 1)
-			return &AllocMemResp{OK: true, AllocID: a.ID, Donor: a.Donor, DonorBase: a.DonorBase}, 64
+			resp := &AllocMemResp{OK: true, AllocID: a.ID, Donor: a.Donor, DonorBase: a.DonorBase}
+			if size != r.Size {
+				resp.Granted = size
+			}
+			return resp, 64
 		}
 	}
 	if m.HasUpstream && r.Scope != ScopeLocalRack {
-		if resp := m.escalate(p, from, r); resp != nil {
+		if resp := m.escalate(p, from, r, size); resp != nil {
 			return resp, 64
 		}
 	}
 	m.Stats.Add("alloc.failures", 1)
-	return &AllocMemResp{OK: false, Err: fmt.Sprintf("no donor with %d idle bytes", r.Size)}, 64
+	return &AllocMemResp{OK: false, Err: fmt.Sprintf("no donor with %d idle bytes", size)}, 64
 }
 
 // resolvePolicy maps a request's policy-override name onto a Policy:
@@ -420,15 +464,26 @@ func (m *Monitor) resolvePolicy(name string) (Policy, bool) {
 	return PolicyByName(name)
 }
 
+// grantMeta carries the per-request row annotations threaded through the
+// donor walk: the latency-sensitive flag for the migration loop, the
+// requester's lease trace id, and the owning tenant identity for the
+// admission/preemption plane. All passive — none of it steers placement.
+type grantMeta struct {
+	latency bool
+	trace   uint64
+	tenant  uint64
+	class   tenancy.Class
+}
+
 // grantFrom runs the donor walk for recipient: find a candidate, ask its
 // agent to hot-remove and export the region, and record the RAT row. RRT
 // records can be stale: a donor may decline, in which case the MN
 // retries the next candidate (handshake-and-retry, §5.3). deleg tags the
 // row with a root delegation id when the grant backs a cross-rack lease;
 // pol, when non-nil, overrides the MN's placement policy for this walk;
-// latency tags the row latency-sensitive for the migration loop; trace
-// is the requester's lease trace id, stored passively on the row.
-func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBase uint64, deleg int, pol Policy, latency bool, trace uint64) (*Allocation, bool) {
+// meta carries the row's passive annotations (latency class, trace id,
+// tenant identity).
+func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBase uint64, deleg int, pol Policy, meta grantMeta) (*Allocation, bool) {
 	for _, cand := range m.donorCandidates(recipient, pol) {
 		if cand.IdleBytes < size {
 			continue
@@ -466,8 +521,8 @@ func (m *Monitor) grantFrom(p *sim.Proc, recipient fabric.NodeID, size, windowBa
 		a := &Allocation{
 			ID: id, Kind: "memory", Donor: cand.Node, Recipient: recipient,
 			DonorBase: resp.Base, RecipientBase: windowBase,
-			Size: size, At: m.EP.Eng.Now(), Deleg: deleg, Latency: latency,
-			Trace: trace,
+			Size: size, At: m.EP.Eng.Now(), Deleg: deleg, Latency: meta.latency,
+			Trace: meta.trace, Tenant: meta.tenant, Class: meta.class,
 		}
 		m.rat[id] = a
 		cand.IdleBytes -= size
@@ -539,8 +594,20 @@ func (m *Monitor) onAllocDev(p *sim.Proc, from fabric.NodeID, req any) (any, int
 	if !ok {
 		return &AllocDevResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 32
 	}
+	// Same admission gate as memory, in device units (free vs leased
+	// counts of the requested kind). Degradation does not apply to
+	// single-unit grants.
+	if m.Admission != nil && r.Class != tenancy.ClassNone {
+		if rejected := m.admitDev(p, from, r); rejected {
+			m.Stats.Add("admit.rejected", 1)
+			return &AllocDevResp{OK: false, Rejected: true,
+				Err: fmt.Sprintf("admission: %s class over budget for a %s", r.Class, r.Kind)}, 32
+		}
+	}
 	if r.Scope != ScopeRemoteRack {
-		if a, ok := m.allocDevLocal(from, r.Kind, pol, 0, r.Trace); ok {
+		if a, ok := m.allocDevLocal(from, r.Kind, pol, 0, grantMeta{
+			trace: r.Trace, tenant: r.Tenant, class: r.Class,
+		}); ok {
 			m.Stats.Add("alloc."+r.Kind.String(), 1)
 			return &AllocDevResp{OK: true, AllocID: a.ID, Donor: a.Donor}, 32
 		}
@@ -557,8 +624,9 @@ func (m *Monitor) onAllocDev(p *sim.Proc, from fabric.NodeID, req any) (any, int
 // allocDevLocal runs the donor walk for one device unit in this MN's own
 // scope. Device grants need no agent handshake (there is no hot-plug),
 // so the walk is a pure table operation. deleg tags the row when the
-// grant backs a cross-rack lease delegated by the root MN.
-func (m *Monitor) allocDevLocal(recipient fabric.NodeID, kind DeviceKind, pol Policy, deleg int, trace uint64) (*Allocation, bool) {
+// grant backs a cross-rack lease delegated by the root MN; meta carries
+// the row's passive annotations (trace id, tenant identity).
+func (m *Monitor) allocDevLocal(recipient fabric.NodeID, kind DeviceKind, pol Policy, deleg int, meta grantMeta) (*Allocation, bool) {
 	for _, cand := range m.donorCandidates(recipient, pol) {
 		if cand.Devices[kind] <= 0 {
 			continue
@@ -575,7 +643,7 @@ func (m *Monitor) allocDevLocal(recipient fabric.NodeID, kind DeviceKind, pol Po
 		a := &Allocation{
 			ID: id, Kind: kind.String(), Dev: kind, Donor: cand.Node,
 			Recipient: recipient, Size: 1, At: m.EP.Eng.Now(), Deleg: deleg,
-			Trace: trace,
+			Trace: meta.trace, Tenant: meta.tenant, Class: meta.class,
 		}
 		m.rat[id] = a
 		m.emitLease(LeaseGranted, a, a.Donor)

@@ -20,6 +20,7 @@ package monitor
 import (
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/transport"
 )
 
@@ -137,6 +138,12 @@ type AllocMemReq struct {
 	// id the recipient's grant/release events carry. Purely passive —
 	// it never steers placement, and the request's wire size is fixed.
 	Trace uint64
+	// Tenant/Class identify the requesting tenant for the admission
+	// controller (tenancy.Config on the MN). The zero Class marks an
+	// untagged request, which admission never gates — pre-tenancy
+	// callers keep today's behavior exactly.
+	Tenant uint64
+	Class  tenancy.Class
 }
 
 // AllocMemResp answers an AllocMemReq.
@@ -146,6 +153,14 @@ type AllocMemResp struct {
 	AllocID   int
 	Donor     fabric.NodeID
 	DonorBase uint64
+	// Granted is the degraded grant size when the admission controller
+	// shrank the window (tenancy.Degrade); 0 means "as requested".
+	Granted uint64
+	// Rejected marks an admission-controller rejection: the pool has
+	// capacity policy says this class may not take. Unlike an ordinary
+	// "no donor" decline it is not retryable — the caller surfaces
+	// core.ErrAdmissionRejected.
+	Rejected bool
 }
 
 // FreeMemReq releases a previous allocation.
@@ -165,6 +180,10 @@ type AllocDevReq struct {
 	Policy string
 	// Trace is the requester's lease trace id (see AllocMemReq.Trace).
 	Trace uint64
+	// Tenant/Class identify the requesting tenant for the admission
+	// controller (see AllocMemReq.Tenant).
+	Tenant uint64
+	Class  tenancy.Class
 }
 
 // AllocDevResp answers an AllocDevReq.
@@ -173,6 +192,9 @@ type AllocDevResp struct {
 	Err     string
 	AllocID int
 	Donor   fabric.NodeID
+	// Rejected marks an admission-controller rejection (see
+	// AllocMemResp.Rejected).
+	Rejected bool
 }
 
 // FreeDevReq releases a device allocation.
@@ -206,6 +228,10 @@ type MemReqOpts struct {
 	// Trace is the lease trace id stamped onto the allocation row (see
 	// AllocMemReq.Trace).
 	Trace uint64
+	// Tenant/Class identify the requesting tenant for admission control
+	// (see AllocMemReq.Tenant).
+	Tenant uint64
+	Class  tenancy.Class
 }
 
 // RequestMemoryOpts is RequestMemoryScoped with the full option set:
@@ -213,7 +239,7 @@ type MemReqOpts struct {
 // and reports ok=false (an unreachable or wedged MN must not park the
 // requester forever).
 func RequestMemoryOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, size, windowBase uint64, o MemReqOpts) (*AllocMemResp, bool) {
-	req := &AllocMemReq{Size: size, WindowBase: windowBase, Scope: o.Scope, Policy: o.Policy, Latency: o.Latency, Trace: o.Trace}
+	req := &AllocMemReq{Size: size, WindowBase: windowBase, Scope: o.Scope, Policy: o.Policy, Latency: o.Latency, Trace: o.Trace, Tenant: o.Tenant, Class: o.Class}
 	if o.Timeout > 0 {
 		raw, ok := ep.CallTimeout(p, mn, kindAllocMem, 64, req, o.Timeout)
 		if !ok {
@@ -244,12 +270,16 @@ type DevReqOpts struct {
 	Policy  string
 	Timeout sim.Dur
 	Trace   uint64
+	// Tenant/Class identify the requesting tenant for admission control
+	// (see AllocMemReq.Tenant).
+	Tenant uint64
+	Class  tenancy.Class
 }
 
 // RequestDeviceOpts is RequestDevice with the full option set (same
 // timeout contract as RequestMemoryOpts).
 func RequestDeviceOpts(p *sim.Proc, ep *transport.Endpoint, mn fabric.NodeID, kind DeviceKind, o DevReqOpts) (*AllocDevResp, bool) {
-	req := &AllocDevReq{Kind: kind, Scope: o.Scope, Policy: o.Policy, Trace: o.Trace}
+	req := &AllocDevReq{Kind: kind, Scope: o.Scope, Policy: o.Policy, Trace: o.Trace, Tenant: o.Tenant, Class: o.Class}
 	if o.Timeout > 0 {
 		raw, ok := ep.CallTimeout(p, mn, kindAllocDev, 16, req, o.Timeout)
 		if !ok {
@@ -386,9 +416,11 @@ type rackBorrowReq struct {
 	Recipient  fabric.NodeID
 	Size       uint64
 	WindowBase uint64
-	Policy     string // per-request policy override, forwarded to the donor rack
-	Latency    bool   // latency-sensitive class, forwarded to the donor rack
-	Trace      uint64 // lease trace id, forwarded to the donor rack's RAT row
+	Policy     string        // per-request policy override, forwarded to the donor rack
+	Latency    bool          // latency-sensitive class, forwarded to the donor rack
+	Trace      uint64        // lease trace id, forwarded to the donor rack's RAT row
+	Tenant     uint64        // requesting tenant, forwarded to the donor rack's RAT row
+	Class      tenancy.Class // tenant priority class, forwarded for donor-rack admission
 	// Device marks a device borrow: the root elects the donor rack by
 	// free units of Dev instead of idle bytes, Size is 1 unit, and
 	// WindowBase carries the sub's pre-minted recipient-facing alloc id
@@ -451,9 +483,11 @@ type delegateReq struct {
 	Recipient  fabric.NodeID
 	Size       uint64
 	WindowBase uint64
-	Policy     string // per-request policy override for the donor walk
-	Latency    bool   // latency-sensitive class for the granted row
-	Trace      uint64 // lease trace id for the granted row
+	Policy     string        // per-request policy override for the donor walk
+	Latency    bool          // latency-sensitive class for the granted row
+	Trace      uint64        // lease trace id for the granted row
+	Tenant     uint64        // requesting tenant for the granted row
+	Class      tenancy.Class // tenant priority class (donor-rack admission: admit/reject only)
 	// Device asks the donor rack for one unit of Dev instead of memory;
 	// the sub's device walk needs no agent handshake (no hot-plug), so
 	// the grant is a pure table operation.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/transport"
 )
 
@@ -67,8 +68,10 @@ type Delegation struct {
 	RecipientBase uint64
 	Size          uint64
 	At            sim.Time
-	Latency       bool   // latency-sensitive class, preserved across re-delegation
-	Trace         uint64 // lease trace id, preserved across re-delegation
+	Latency       bool          // latency-sensitive class, preserved across re-delegation
+	Trace         uint64        // lease trace id, preserved across re-delegation
+	Tenant        uint64        // owning tenant, preserved across re-delegation
+	Class         tenancy.Class // tenant priority class, preserved across re-delegation
 	// Kind is "memory" or a DeviceKind name; Dev is valid for device
 	// delegations. Device delegations have Size 1 (one unit) and carry
 	// the recipient sub-MN's pre-minted alloc id in RecipientBase.
@@ -355,7 +358,8 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		}
 		resp, ok := rt.delegateTo(p, rs, &delegateReq{
 			DelegID: id, Recipient: r.Recipient, Size: r.Size, WindowBase: r.WindowBase,
-			Policy: r.Policy, Latency: r.Latency, Trace: r.Trace, Device: r.Device, Dev: r.Dev,
+			Policy: r.Policy, Latency: r.Latency, Trace: r.Trace,
+			Tenant: r.Tenant, Class: r.Class, Device: r.Device, Dev: r.Dev,
 		})
 		if !ok {
 			continue
@@ -365,6 +369,7 @@ func (rt *Root) onRackBorrow(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 			SubAllocID: resp.AllocID, Donor: resp.Donor,
 			Recipient: r.Recipient, RecipientBase: r.WindowBase,
 			Size: r.Size, At: rt.EP.Eng.Now(), Latency: r.Latency, Trace: r.Trace,
+			Tenant: r.Tenant, Class: r.Class,
 			Kind: kind, Dev: r.Dev,
 		}
 		if rt.cancelled[key] {
@@ -641,7 +646,8 @@ func (rt *Root) redelegateRack(p *sim.Proc, dead int) {
 		for _, rs := range cands {
 			resp, ok := rt.delegateTo(p, rs, &delegateReq{
 				DelegID: d.ID, Recipient: d.Recipient, Size: d.Size, WindowBase: d.RecipientBase,
-				Latency: d.Latency, Trace: d.Trace, Device: device, Dev: d.Dev,
+				Latency: d.Latency, Trace: d.Trace, Tenant: d.Tenant, Class: d.Class,
+				Device: device, Dev: d.Dev,
 			})
 			if !ok {
 				continue
@@ -812,8 +818,10 @@ func (m *Monitor) borrowTimeout() sim.Dur { return 8 * m.GrantTimeout }
 // escalate forwards a request the rack cannot serve to the root MN and,
 // on success, records the recipient-facing alloc-id → delegation-id
 // mapping so the lease frees through the same FreeMemory call path.
-func (m *Monitor) escalate(p *sim.Proc, from fabric.NodeID, r *AllocMemReq) *AllocMemResp {
-	req := &rackBorrowReq{Rack: m.Rack, Recipient: from, Size: r.Size, WindowBase: r.WindowBase, Policy: r.Policy, Latency: r.Latency, Trace: r.Trace}
+// size is the admitted size — r.Size unless the local admission gate
+// degraded the grant before the rack turned out to be starved.
+func (m *Monitor) escalate(p *sim.Proc, from fabric.NodeID, r *AllocMemReq, size uint64) *AllocMemResp {
+	req := &rackBorrowReq{Rack: m.Rack, Recipient: from, Size: size, WindowBase: r.WindowBase, Policy: r.Policy, Latency: r.Latency, Trace: r.Trace, Tenant: r.Tenant, Class: r.Class}
 	raw, ok := m.EP.CallTimeout(p, m.Upstream, kindRackBorrow, 64, req, m.borrowTimeout())
 	if !ok {
 		// The response is lost (or the root outran our patience, which
@@ -839,7 +847,11 @@ func (m *Monitor) escalate(p *sim.Proc, from fabric.NodeID, r *AllocMemReq) *All
 	m.nextAllocID++
 	m.delegated[id] = delegatedLease{deleg: resp.DelegID, recipient: from}
 	m.Stats.Add("alloc.delegated", 1)
-	return &AllocMemResp{OK: true, AllocID: id, Donor: resp.Donor, DonorBase: resp.DonorBase}
+	out := &AllocMemResp{OK: true, AllocID: id, Donor: resp.Donor, DonorBase: resp.DonorBase}
+	if size != r.Size {
+		out.Granted = size
+	}
+	return out
 }
 
 // escalateDev forwards a device request the rack cannot serve to the
@@ -851,7 +863,8 @@ func (m *Monitor) escalateDev(p *sim.Proc, from fabric.NodeID, r *AllocDevReq) *
 	m.nextAllocID++
 	req := &rackBorrowReq{
 		Rack: m.Rack, Recipient: from, Size: 1, WindowBase: uint64(id),
-		Policy: r.Policy, Trace: r.Trace, Device: true, Dev: r.Kind,
+		Policy: r.Policy, Trace: r.Trace, Tenant: r.Tenant, Class: r.Class,
+		Device: true, Dev: r.Kind,
 	}
 	raw, ok := m.EP.CallTimeout(p, m.Upstream, kindRackBorrow, 64, req, m.borrowTimeout())
 	if !ok {
@@ -923,6 +936,14 @@ func (m *Monitor) retryRackFrees(p *sim.Proc) {
 
 // onDelegate services the root MN's cross-rack grant request: the
 // normal donor walk, for a recipient outside this rack.
+//
+// The donor rack applies a restricted admission check for class-tagged
+// delegations: admit or decline, with a preemption attempt for classes
+// above Preemptible — never queue (a queue wait here would race the
+// root's delegateTimeout and the requesting sub's borrowTimeout) and
+// never degrade (the recipient's window was escalated at a committed
+// size). A decline is an ordinary "no rack donor" to the root, which
+// tries the next candidate rack.
 func (m *Monitor) onDelegate(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 	r := req.(*delegateReq)
 	pol, ok := m.resolvePolicy(r.Policy)
@@ -930,8 +951,16 @@ func (m *Monitor) onDelegate(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		m.Stats.Add("delegate.declined", 1)
 		return &delegateResp{OK: false, Err: fmt.Sprintf("unknown policy %q", r.Policy)}, 64
 	}
+	if m.Admission != nil && r.Class != tenancy.ClassNone {
+		if !m.admitDelegate(p, r) {
+			m.Stats.Add("admit.delegate_declined", 1)
+			return &delegateResp{OK: false, Err: "admission: donor rack over budget"}, 64
+		}
+	}
 	if r.Device {
-		a, ok := m.allocDevLocal(r.Recipient, r.Dev, pol, r.DelegID, r.Trace)
+		a, ok := m.allocDevLocal(r.Recipient, r.Dev, pol, r.DelegID, grantMeta{
+			trace: r.Trace, tenant: r.Tenant, class: r.Class,
+		})
 		if !ok {
 			m.Stats.Add("delegate.declined", 1)
 			return &delegateResp{OK: false, Err: "no rack donor"}, 64
@@ -939,13 +968,47 @@ func (m *Monitor) onDelegate(p *sim.Proc, _ fabric.NodeID, req any) (any, int) {
 		m.Stats.Add("delegate.granted", 1)
 		return &delegateResp{OK: true, AllocID: a.ID, Donor: a.Donor}, 64
 	}
-	a, ok := m.grantFrom(p, r.Recipient, r.Size, r.WindowBase, r.DelegID, pol, r.Latency, r.Trace)
+	a, ok := m.grantFrom(p, r.Recipient, r.Size, r.WindowBase, r.DelegID, pol, grantMeta{
+		latency: r.Latency, trace: r.Trace, tenant: r.Tenant, class: r.Class,
+	})
 	if !ok {
 		m.Stats.Add("delegate.declined", 1)
 		return &delegateResp{OK: false, Err: "no rack donor"}, 64
 	}
 	m.Stats.Add("delegate.granted", 1)
 	return &delegateResp{OK: true, AllocID: a.ID, Donor: a.Donor, DonorBase: a.DonorBase}, 64
+}
+
+// admitDelegate is the donor-rack admission check for one delegated
+// grant: Decide against this rack's pressure, with queue and degrade
+// verdicts collapsed to a single preemption attempt (classes above
+// Preemptible) and otherwise a decline.
+func (m *Monitor) admitDelegate(p *sim.Proc, r *delegateReq) bool {
+	decide := func() tenancy.Decision {
+		if r.Device {
+			free, capacity := m.devPressure(r.Dev)
+			dec, _ := m.Admission.Decide(r.Class, 1, free, capacity)
+			return dec
+		}
+		idle, capacity := m.memPressure()
+		dec, _ := m.Admission.Decide(r.Class, r.Size, idle, capacity)
+		return dec
+	}
+	if decide() == tenancy.Admit {
+		return true
+	}
+	if r.Class > tenancy.Preemptible && m.Admission.Preempt {
+		ok := false
+		if r.Device {
+			ok = m.preemptDev(p, r.Recipient, r.Dev)
+		} else {
+			ok = m.preemptMem(p, r.Recipient, &AllocMemReq{Size: r.Size, Class: r.Class})
+		}
+		if ok {
+			return decide() == tenancy.Admit
+		}
+	}
+	return false
 }
 
 // onDelegateFree services the root MN's teardown of a delegated lease

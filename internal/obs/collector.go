@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 )
 
 // Collector wires a resource plane's lease-lifecycle stream into the
@@ -34,9 +35,16 @@ func (c *Collector) Attach(pl core.Plane) (cancel func()) {
 // with synthetic events.
 func (c *Collector) OnEvent(ev core.Event) {
 	if c.Reg != nil {
+		labels := map[string]string{"type": ev.Type.String(), "kind": ev.Kind.String()}
+		// Class-tagged events get a third label; untagged events keep the
+		// historical two-label series so pre-tenancy dashboards (and the
+		// pinned render tests) see an unchanged wire form.
+		if ev.Class != tenancy.ClassNone {
+			labels["class"] = ev.Class.String()
+		}
 		c.Reg.Counter("venice_lease_events_total",
 			"Lease-lifecycle events by type and resource kind.",
-			map[string]string{"type": ev.Type.String(), "kind": ev.Kind.String()}).Inc()
+			labels).Inc()
 	}
 	if c.Traces != nil {
 		c.Traces.Add(ev)

@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 )
 
 // TestRegistryProm pins the exposition format: sorted families, HELP
@@ -263,6 +265,102 @@ func TestCollectorEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), `venice_lease_events_total{kind="memory",type="granted"} 1`) {
 		t.Errorf("exposition missing lease counter:\n%s", b.String())
+	}
+}
+
+// TestCollectorPreemptedEvent drives a real preemption — Preemptible
+// holders saturate the pool, a Latency request evicts one — and checks
+// the preempted event lands in every sink: the class-labelled counter,
+// the victim's trace chain, and the SSE broadcast JSON carrying the
+// tenant id and class name.
+func TestCollectorPreemptedEvent(t *testing.T) {
+	topo := fabric.Mesh3D(2, 2, 2)
+	adm := &tenancy.Config{
+		PerClass: [tenancy.NumClasses]tenancy.Limits{
+			tenancy.Preemptible: {ReserveFrac: 0.5, SLOMult: 16},
+			tenancy.Standard:    {ReserveFrac: 0.75, MaxWait: sim.Millisecond, SLOMult: 8},
+			tenancy.Latency:     {ReserveFrac: 1.0, SLOMult: 4},
+		},
+		Preempt: true,
+	}
+	cl := core.NewCluster(core.Config{
+		Topology: &topo, NodeMemBytes: 32 << 20,
+		StartAgents: true, Admission: adm,
+	})
+	defer cl.Close()
+	for _, i := range []int{0, 1} { // MN and app out of donor candidacy
+		if err := cl.Node(i).MemMgr.Reserve(cl.Node(i).MemMgr.Idle()); err != nil {
+			t.Fatalf("reserving node %d: %v", i, err)
+		}
+	}
+	cl.RunFor(10 * sim.Millisecond)
+
+	var reg Registry
+	col := &Collector{Reg: &reg, Traces: NewTraceStore(0), Events: NewBroadcaster()}
+	sub := col.Events.Subscribe(256)
+	cancel := col.Attach(cl)
+	defer cancel()
+
+	// 6 donors x 32 MiB = 24 leases of 8 MiB; the Preemptible budget
+	// covers 12 of them.
+	var victims []uint64
+	app := cl.Node(1)
+	app.Run("preempt-obs", func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			l, err := cl.Acquire(p, core.NewRequest(core.Memory, app, 8<<20,
+				core.WithTenant(uint64(100+i), tenancy.Preemptible)))
+			if err != nil {
+				break
+			}
+			victims = append(victims, l.Trace())
+		}
+		for { // fill the rest of the pool with untagged leases
+			if _, err := cl.Acquire(p, core.NewRequest(core.Memory, app, 8<<20)); err != nil {
+				break
+			}
+		}
+		if _, err := cl.Acquire(p, core.NewRequest(core.Memory, app, 8<<20,
+			core.WithTenant(7, tenancy.Latency))); err != nil {
+			t.Errorf("Latency acquire under pressure: %v", err)
+		}
+	})
+	cl.RunFor(10 * sim.Second)
+
+	if got := reg.Counter("venice_lease_events_total", "",
+		map[string]string{"type": "preempted", "kind": "memory", "class": "preemptible"}).Value(); got != 1 {
+		t.Errorf("class-labelled preempted counter = %d, want 1", got)
+	}
+
+	var chain []core.Event
+	for _, tr := range victims {
+		for _, ev := range col.Traces.Get(tr) {
+			if ev.Type == core.LeasePreempted {
+				chain = append(chain, ev)
+			}
+		}
+	}
+	if len(chain) != 1 {
+		t.Fatalf("found %d preempted spans across victim traces, want 1", len(chain))
+	}
+	if chain[0].Class != tenancy.Preemptible || chain[0].Tenant < 100 {
+		t.Errorf("preempted span lost its identity: %+v", chain[0])
+	}
+
+	found := false
+	for len(sub.C) > 0 {
+		var ev core.Event
+		if err := json.Unmarshal(<-sub.C, &ev); err != nil {
+			t.Fatalf("broadcast message not Event JSON: %v", err)
+		}
+		if ev.Type == core.LeasePreempted {
+			found = true
+			if ev.Trace != chain[0].Trace || ev.Class != tenancy.Preemptible {
+				t.Errorf("broadcast preempted event %+v does not match trace span %+v", ev, chain[0])
+			}
+		}
+	}
+	if !found {
+		t.Error("preempted event never reached the broadcast stream")
 	}
 }
 

@@ -54,6 +54,23 @@ type ArrivalSpec struct {
 	BurstDwell sim.Dur
 }
 
+// FlashCrowd is the shared flash-crowd arrival preset: a two-state
+// MMPP whose bursty state runs at 8× the mean rate for ~10% of the
+// time with 500 µs mean dwells — long, hard spikes against a
+// correspondingly quieter baseline (quiet-state rate ≈ 0.22× mean),
+// the diurnal-peak/viral-event shape the tenancy and churn scenarios
+// stress admission control with. Override any field after calling for
+// a sharper or gentler crowd; the zero fields keep their documented
+// ArrivalSpec defaults.
+func FlashCrowd() ArrivalSpec {
+	return ArrivalSpec{
+		Kind:        MMPP,
+		BurstFactor: 8,
+		BurstFrac:   0.1,
+		BurstDwell:  500 * sim.Microsecond,
+	}
+}
+
 func (s ArrivalSpec) burstFactor() float64 {
 	if s.BurstFactor > 0 {
 		return s.BurstFactor

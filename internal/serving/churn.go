@@ -52,6 +52,10 @@ type ChurnConfig struct {
 	Policy string
 	// Fault selects the churn intensity (default FaultNone).
 	Fault FaultRate
+	// Arrivals shapes the open-loop arrival process. The zero value is
+	// the historical Poisson stream (byte-identical results); set
+	// FlashCrowd() to drive churn through hard bursts instead.
+	Arrivals ArrivalSpec
 	// SparePool pre-plugs one lease-sized spare region per donor: the
 	// carve's hot-remove happens when the pool fills (off the serving
 	// path), so a failover's replacement grant skips the ~2 ms hot-plug
@@ -162,6 +166,9 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	pol, ok := monitor.PolicyByName(cfg.Policy)
 	if !ok {
 		return nil, fmt.Errorf("serving: unknown sharing policy %q (known: %v)", cfg.Policy, monitor.PolicyNames())
+	}
+	if err := cfg.Arrivals.validate(); err != nil {
+		return nil, err
 	}
 	nodes := cfg.Nodes
 	if nodes == 0 {
@@ -328,7 +335,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 			})
 		}
 
-		arr := newSampler(ArrivalSpec{}, res.OfferedRPS, sim.NewRNG(cfg.Seed))
+		arr := newSampler(cfg.Arrivals, res.OfferedRPS, sim.NewRNG(cfg.Seed))
 		offRng := sim.NewRNG(cfg.Seed ^ 0x5eed)
 		start := pr.Now()
 		for r := 0; r < cfg.Requests; r++ {

@@ -1,0 +1,389 @@
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tenancy"
+)
+
+// The tenancy scenario is the millions-of-users complement to churn:
+// instead of donors failing, the pool itself is oversubscribed by
+// tenants of different SLO classes, and what's measured is the
+// admission plane — per-class goodput, SLO-miss rate, and the
+// preemption traffic that keeps the Latency class whole while the
+// Preemptible class absorbs the pressure.
+//
+// The rig is a flat 8-node mesh with the MN on node 0 and the app
+// server on node 1, both fully reserved so six donors back the pool. A
+// population of background Preemptible-class holders saturates its
+// class budget and sits on the leases; a flash-crowd MMPP stream of
+// class-mixed sessions (Latency/Standard/Preemptible) then competes
+// for the remainder. Under bursts the Standard class queues and —
+// when the wait expires — preempts holders through the MN's admission
+// plane; holders watch the plane's event stream for their eviction and
+// re-acquire with backoff once pressure relents.
+
+// TenancyConfig shapes one tenancy scenario run.
+type TenancyConfig struct {
+	// Util is offered load as a fraction of calibrated capacity.
+	Util float64
+	// Requests is the number of measured open-loop sessions.
+	Requests int
+	// Workers is the app-server dispatch concurrency (default 8). Each
+	// busy worker holds one in-flight lease, so Workers also bounds the
+	// foreground pool pressure.
+	Workers int
+	// Holders is the background Preemptible-class tenant population
+	// (default 16 — two more than the class budget admits, so the
+	// degrade and reject paths are exercised from the start).
+	Holders int
+	// Seed drives the arrival, class-mix, and offset streams (the shard
+	// axis).
+	Seed uint64
+
+	// OnCluster, when set, receives the cluster after its RRT is
+	// populated and before serving starts (outside virtual time; see
+	// ChurnConfig.OnCluster).
+	OnCluster func(*core.Cluster)
+	// Throttle, when set, is called between engine steps on the driving
+	// goroutine (outside virtual time).
+	Throttle func()
+}
+
+// ClassStats is one SLO class's ledger for a run. Every offered
+// session is accounted exactly once: Completed + Rejected == Offered.
+type ClassStats struct {
+	// Offered counts arrivals tagged with this class.
+	Offered int
+	// Completed counts sessions whose lease was granted (possibly
+	// degraded) and whose work finished.
+	Completed int
+	// Rejected counts sessions the admission plane turned away
+	// (core.ErrAdmissionRejected, plus any terminal acquire failure).
+	Rejected int
+	// SLOMiss counts completions beyond the class deadline.
+	SLOMiss int
+	// Deadline is the class SLO: its configured SLOMult × the
+	// calibrated mean service time.
+	Deadline sim.Dur
+	// Lat holds the class's end-to-end session latencies (completed
+	// sessions only; arrival to completion, queueing included).
+	Lat *sim.LatencyHist
+}
+
+// TenancyResult is one tenancy run's measurements.
+type TenancyResult struct {
+	// ServiceNS is the calibrated closed-loop mean session time
+	// (acquire + read + release, untagged, unloaded).
+	ServiceNS float64
+	// OfferedRPS is the open-loop arrival rate across all classes.
+	OfferedRPS float64
+	// PerClass indexes the class ledgers by tenancy class
+	// (ClassNone's slot stays zero).
+	PerClass [tenancy.NumClasses]ClassStats
+	// Preemptions counts Preemptible-class leases the MN revoked to
+	// make room for a higher class ("preempt.memory").
+	Preemptions int64
+	// Degrades counts grants admitted at a reduced size
+	// ("admit.degraded").
+	Degrades int64
+	// QueueAdmits counts grants admitted after a bounded queue wait
+	// ("admit.queue_admits").
+	QueueAdmits int64
+	// HolderAcquires and HolderPreemptions count the background
+	// population's lease grants and observed evictions.
+	HolderAcquires    int64
+	HolderPreemptions int64
+	// Fairness is the Jain index over per-class completion ratios
+	// (1 = every class completed the same fraction of its offered load).
+	Fairness float64
+}
+
+// Scenario-internal constants (shared by every cell; the sweep varies
+// only load and the shard seed).
+const (
+	tenancyClusterSeed = 3131
+	tenancyCalSeed     = 3133
+
+	tenancyNodeMem    = uint64(32 << 20)
+	tenancyLeaseBytes = uint64(8 << 20)
+	tenancyReadBytes  = 2048
+	tenancyThink      = 20 * sim.Microsecond
+	tenancyCalibrate  = 12
+
+	// Class mix of the foreground sessions.
+	tenancyLatencyFrac  = 0.2
+	tenancyStandardFrac = 0.5
+
+	// Tenant identity space: foreground sessions draw from a large flat
+	// id space (the "millions of users" stand-in); holders live in a
+	// disjoint range above it.
+	tenancyTenants    = 4096
+	tenancyHolderBase = uint64(1) << 32
+
+	tenancyHolderPoll = 100 * sim.Microsecond
+	tenancySettle     = 20 * sim.Millisecond
+)
+
+// tenancyRequest is one queued unit of offered load.
+type tenancyRequest struct {
+	arrived sim.Time
+	tenant  uint64
+	class   tenancy.Class
+	close   bool
+}
+
+// RunTenancy executes one multi-tenant admission scenario.
+func RunTenancy(cfg TenancyConfig) (*TenancyResult, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("serving: Requests must be positive, got %d", cfg.Requests)
+	}
+	if cfg.Util <= 0 {
+		return nil, fmt.Errorf("serving: Util must be positive, got %v", cfg.Util)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	holders := cfg.Holders
+	if holders <= 0 {
+		holders = 16
+	}
+	topo, err := topoFor(8)
+	if err != nil {
+		return nil, err
+	}
+	adm := tenancy.Default()
+	cl := core.NewCluster(core.Config{
+		Topology:     &topo,
+		NodeMemBytes: tenancyNodeMem,
+		StartAgents:  true,
+		Seed:         tenancyClusterSeed,
+		Admission:    adm,
+	})
+	defer cl.Close()
+	// Keep the control plane (node 0) and the app server (node 1) out of
+	// donor candidacy: the six remaining nodes form the shared pool.
+	for _, i := range []int{0, 1} {
+		if err := cl.Node(i).MemMgr.Reserve(cl.Node(i).MemMgr.Idle()); err != nil {
+			return nil, fmt.Errorf("serving: reserving node %d memory: %w", i, err)
+		}
+	}
+	cl.RunFor(10 * sim.Millisecond) // populate the RRT
+	if cfg.OnCluster != nil {
+		cfg.OnCluster(cl)
+	}
+
+	// Holders learn about their eviction from the plane's event stream:
+	// the observer records preempted trace ids, each holder polls for
+	// its own.
+	preempted := make(map[uint64]bool)
+	cancel := cl.Observe(func(ev core.Event) {
+		if ev.Type == core.LeasePreempted {
+			preempted[ev.Trace] = true
+		}
+	})
+	defer cancel()
+
+	app := cl.Node(1)
+	res := &TenancyResult{}
+	for c := range res.PerClass {
+		res.PerClass[c].Lat = &sim.LatencyHist{}
+	}
+	var runErr error
+	stop := false
+
+	// Background Preemptible-class tenants: each tries to hold one lease
+	// indefinitely, re-acquiring with backoff after every eviction or
+	// rejection. Their virtual time is spent asleep, so they load the
+	// pool's capacity, not its request path.
+	holderGrp := sim.NewGroup(cl.Eng)
+	for h := 0; h < holders; h++ {
+		h := h
+		holderGrp.Add(1)
+		app.Run(fmt.Sprintf("tenant-holder-%d", h), func(hp *sim.Proc) {
+			defer holderGrp.Done()
+			bo := tenancy.Backoff{}
+			attempt := 0
+			for !stop {
+				l, err := cl.Acquire(hp, core.NewRequest(core.Memory, app, tenancyLeaseBytes,
+					core.WithTenant(tenancyHolderBase+uint64(h), tenancy.Preemptible)))
+				if err != nil {
+					attempt++
+					hp.Sleep(bo.Delay(attempt))
+					continue
+				}
+				attempt = 0
+				res.HolderAcquires++
+				for !stop && !preempted[l.Trace()] {
+					hp.Sleep(tenancyHolderPoll)
+				}
+				evicted := preempted[l.Trace()]
+				// Release is safe after a preemption: the MN row is gone and
+				// the window already dead; this tears down the local mapping.
+				l.Release(hp)
+				if evicted {
+					res.HolderPreemptions++
+					attempt++
+					hp.Sleep(bo.Delay(attempt))
+				}
+			}
+		})
+	}
+
+	done := app.Run("serving-tenancy", func(pr *sim.Proc) {
+		// Closed-loop calibration before the holders saturate anything:
+		// untagged sessions bypass admission, so the measured mean is the
+		// unloaded acquire + read + release cycle.
+		calRng := sim.NewRNG(tenancyCalSeed)
+		t0 := pr.Now()
+		for j := 0; j < tenancyCalibrate; j++ {
+			l, err := cl.Acquire(pr, core.NewRequest(core.Memory, app, tenancyLeaseBytes))
+			if err != nil {
+				runErr = fmt.Errorf("serving: tenancy calibration: %w", err)
+				return
+			}
+			base, size := l.Window()
+			off := calRng.Uint64n(size-tenancyReadBytes) &^ 63
+			app.EP.CRMA.Fill(pr, base+off, tenancyReadBytes)
+			pr.Sleep(tenancyThink)
+			l.Release(pr)
+		}
+		res.ServiceNS = float64(pr.Now().Sub(t0)) / tenancyCalibrate
+		res.OfferedRPS = cfg.Util * float64(workers) / res.ServiceNS * 1e9
+		for _, c := range tenancy.Classes() {
+			res.PerClass[c].Deadline = sim.Dur(adm.PerClass[c].SLOMult * res.ServiceNS)
+		}
+
+		// Let the holder population claim its class budget before the
+		// measured window opens, so every shard starts from the same
+		// saturated pool.
+		pr.Sleep(tenancySettle)
+
+		reqQ := sim.NewQueue[tenancyRequest](cl.Eng)
+		grp := sim.NewGroup(cl.Eng)
+		type tally struct {
+			completed, rejected, sloMiss [tenancy.NumClasses]int
+			lat                          [tenancy.NumClasses]*sim.LatencyHist
+		}
+		shards := make([]*tally, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			shards[w] = &tally{}
+			for c := range shards[w].lat {
+				shards[w].lat[c] = &sim.LatencyHist{}
+			}
+			grp.Add(1)
+			app.Run(fmt.Sprintf("tenancy-worker-%d", w), func(wp *sim.Proc) {
+				defer grp.Done()
+				for {
+					req := reqQ.Pop(wp)
+					if req.close {
+						return
+					}
+					l, err := cl.Acquire(wp, core.NewRequest(core.Memory, app, tenancyLeaseBytes,
+						core.WithTenant(req.tenant, req.class),
+						core.WithRetry(borrowRetry)))
+					if err != nil {
+						// Admission rejections and exhausted retries both count
+						// against the class's completion ratio.
+						shards[w].rejected[req.class]++
+						continue
+					}
+					base, size := l.Window()
+					off := uint64(req.tenant*2048) % (size - tenancyReadBytes) &^ 63
+					app.EP.CRMA.Fill(wp, base+off, tenancyReadBytes)
+					wp.Sleep(tenancyThink)
+					l.Release(wp)
+					d := wp.Now().Sub(req.arrived)
+					shards[w].lat[req.class].AddDur(d)
+					shards[w].completed[req.class]++
+					if d > res.PerClass[req.class].Deadline {
+						shards[w].sloMiss[req.class]++
+					}
+				}
+			})
+		}
+
+		// Open-loop flash-crowd arrivals with a per-request class draw.
+		arr := newSampler(FlashCrowd(), res.OfferedRPS, sim.NewRNG(cfg.Seed))
+		mixRng := sim.NewRNG(cfg.Seed ^ 0x5eed)
+		for r := 0; r < cfg.Requests; r++ {
+			pr.Sleep(arr.Next())
+			var class tenancy.Class
+			switch u := mixRng.Float64(); {
+			case u < tenancyLatencyFrac:
+				class = tenancy.Latency
+			case u < tenancyLatencyFrac+tenancyStandardFrac:
+				class = tenancy.Standard
+			default:
+				class = tenancy.Preemptible
+			}
+			res.PerClass[class].Offered++
+			reqQ.Push(pr, tenancyRequest{
+				arrived: pr.Now(),
+				tenant:  1 + mixRng.Uint64n(tenancyTenants),
+				class:   class,
+			})
+		}
+		for w := 0; w < workers; w++ {
+			reqQ.Push(pr, tenancyRequest{close: true})
+		}
+		grp.Wait(pr)
+		stop = true
+		holderGrp.Wait(pr)
+
+		for _, sh := range shards {
+			for c := range res.PerClass {
+				res.PerClass[c].Completed += sh.completed[c]
+				res.PerClass[c].Rejected += sh.rejected[c]
+				res.PerClass[c].SLOMiss += sh.sloMiss[c]
+				res.PerClass[c].Lat.Merge(sh.lat[c])
+			}
+		}
+		// Exactly-once accounting: open-loop arrivals may queue or be
+		// turned away, but none may vanish.
+		for _, c := range tenancy.Classes() {
+			cs := res.PerClass[c]
+			if cs.Completed+cs.Rejected != cs.Offered {
+				runErr = fmt.Errorf("serving: tenancy lost %s sessions: %d completed + %d rejected != %d offered",
+					c, cs.Completed, cs.Rejected, cs.Offered)
+				return
+			}
+		}
+	})
+	if cfg.Throttle == nil {
+		for !done.Done() && cl.Eng.Step() {
+		}
+	} else {
+		for !done.Done() && cl.Eng.Step() {
+			cfg.Throttle()
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if !done.Done() {
+		return nil, fmt.Errorf("serving: tenancy scenario deadlocked (%d live procs)", cl.Eng.LiveProcs())
+	}
+	res.Preemptions = cl.MN.Stats.Get("preempt.memory")
+	res.Degrades = cl.MN.Stats.Get("admit.degraded")
+	res.QueueAdmits = cl.MN.Stats.Get("admit.queue_admits")
+	res.Fairness = tenancyFairness(res)
+	return res, nil
+}
+
+// tenancyFairness computes the Jain index over per-class completion
+// ratios. Classes with no offered load are excluded.
+func tenancyFairness(res *TenancyResult) float64 {
+	var ratios []float64
+	for _, c := range tenancy.Classes() {
+		cs := res.PerClass[c]
+		if cs.Offered > 0 {
+			ratios = append(ratios, float64(cs.Completed)/float64(cs.Offered))
+		}
+	}
+	return tenancy.Jain(ratios)
+}
